@@ -1,0 +1,52 @@
+//! Figure 2 — area split of X-HEEP + ARCANE (4-lane) versus
+//! X-HEEP + standard data LLC, regenerated from the area model.
+
+use arcane_area::{AreaModel, Component};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn print_split(name: &str, parts: &[(Component, f64, usize)], total: f64) {
+    println!("\n{name} — {:.2} mm^2", total / 1e6);
+    arcane_bench::rule(46);
+    for (c, area, n) in parts {
+        let share = 100.0 * area * *n as f64 / total;
+        let label = if *n > 1 {
+            format!("{} x{}", c.label(), n)
+        } else {
+            c.label().to_owned()
+        };
+        println!("  {label:<24} {share:>5.1} %");
+    }
+}
+
+fn print_fig2() {
+    let m = AreaModel::calibrated();
+    println!("\n== Figure 2: area split, 128 KiB LLC configurations ==");
+    let b = m.baseline_xheep();
+    print_split(&b.name, &b.parts, b.total_um2());
+    let a = m.arcane(4, 4);
+    print_split(&a.name, &a.parts, a.total_um2());
+    println!();
+    println!(
+        "check: vector subsystems {:.1} % of ARCANE total (paper: 4 x 22 % of the LLC subsystem)",
+        a.share(Component::VecSubsys)
+    );
+    println!(
+        "check: cache control logic {:.1} % of total (paper: < 4 %)\n",
+        a.share(Component::LlcCtl) + a.share(Component::ECpuSubsys)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig2();
+    c.bench_function("area_split_eval", |b| {
+        let m = AreaModel::calibrated();
+        b.iter(|| {
+            let a = m.arcane(black_box(4), black_box(4));
+            a.share(Component::VecSubsys)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

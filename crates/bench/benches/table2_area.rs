@@ -1,0 +1,60 @@
+//! Table II — synthesis results: area of the 2/4/8-lane ARCANE
+//! configurations versus the baseline X-HEEP, regenerated from the
+//! component-level 65 nm area model.
+
+use arcane_area::AreaModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn print_table2() {
+    let m = AreaModel::calibrated();
+    let base = m.baseline_xheep();
+    println!("\n== Table II: synthesis results with 16 KiB eMEM (65 nm area model) ==");
+    arcane_bench::rule(86);
+    println!(
+        "{:<28} {:>12} {:>12} {:>12} {:>14}",
+        "configuration", "area [um^2]", "area [mm^2]", "area [kGE]", "overhead"
+    );
+    arcane_bench::rule(86);
+    for lanes in [2usize, 4, 8] {
+        let a = m.arcane(4, lanes);
+        println!(
+            "{:<28} {:>12.3e} {:>12.2} {:>12.0} {:>13.1}%",
+            a.name,
+            a.total_um2(),
+            a.total_mm2(),
+            a.total_kge(),
+            m.overhead_percent(4, lanes)
+        );
+    }
+    println!(
+        "{:<28} {:>12.3e} {:>12.2} {:>12.0} {:>14}",
+        base.name,
+        base.total_um2(),
+        base.total_mm2(),
+        base.total_kge(),
+        "baseline"
+    );
+    arcane_bench::rule(86);
+    println!("paper:   ARCANE 2.88 / 3.03 / 3.34 mm^2 (+21.7% / +28.3% / +41.3%), X-HEEP 2.36 mm^2");
+    println!(
+        "paper:   1996 / 2105 / 2318 kGE vs 1640 kGE baseline\n"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table2();
+    c.bench_function("area_model_eval", |b| {
+        let m = AreaModel::calibrated();
+        b.iter(|| {
+            let mut total = 0.0;
+            for lanes in [2usize, 4, 8] {
+                total += m.arcane(black_box(4), black_box(lanes)).total_um2();
+            }
+            total
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

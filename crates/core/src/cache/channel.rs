@@ -1,0 +1,155 @@
+//! Gap-scheduling calendar for shared hardware resources.
+//!
+//! The ARCANE LLC has two agents every kernel must share: the single
+//! 2-D DMA channel and the single eCPU (which dispatches every vector
+//! instruction). Because kernels are simulated eagerly one after
+//! another while their cycle intervals interleave on the real hardware,
+//! a plain "free-at" cursor would serialise kernels that actually
+//! overlap. [`ResourceChannel`] instead keeps a calendar of busy
+//! windows and books each request into the earliest gap that fits —
+//! first-come-first-served per kernel, interleaved across kernels.
+
+/// A shared, single-ported resource booked in absolute-cycle windows.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceChannel {
+    /// Busy windows sorted by start time.
+    windows: Vec<(u64, u64)>,
+}
+
+impl ResourceChannel {
+    /// Creates an idle resource.
+    pub fn new() -> Self {
+        ResourceChannel::default()
+    }
+
+    /// Books `duration` cycles starting no earlier than `earliest`;
+    /// returns the `(start, end)` actually granted (the earliest gap
+    /// that fits).
+    pub fn reserve(&mut self, earliest: u64, duration: u64) -> (u64, u64) {
+        if duration == 0 {
+            return (earliest, earliest);
+        }
+        let mut t = earliest;
+        for &(s, e) in &self.windows {
+            if e <= t {
+                continue;
+            }
+            if s >= t + duration {
+                break; // the gap before this window fits
+            }
+            t = e; // collide: try right after this window
+        }
+        let win = (t, t + duration);
+        let pos = self
+            .windows
+            .partition_point(|&(s, _)| s <= win.0);
+        self.windows.insert(pos, win);
+        (win.0, win.1)
+    }
+
+    /// Books `total` cycles of *preemptible* work starting no earlier
+    /// than `earliest`, split into chunks of at most `chunk` cycles that
+    /// weave into whatever gaps exist (the C-RT is a preemptive runtime:
+    /// IRQ decoding interleaves with kernel dispatch, §IV-B).
+    ///
+    /// Returns `(first_start, last_end)`.
+    pub fn reserve_fragmented(&mut self, earliest: u64, total: u64, chunk: u64) -> (u64, u64) {
+        assert!(chunk > 0, "chunk must be positive");
+        let mut remaining = total;
+        let mut t = earliest;
+        let mut first = None;
+        while remaining > 0 {
+            let d = remaining.min(chunk);
+            let (s, e) = self.reserve(t, d);
+            if first.is_none() {
+                first = Some(s);
+            }
+            t = e;
+            remaining -= d;
+        }
+        (first.unwrap_or(earliest), t)
+    }
+
+    /// Latest booked end time (0 when idle forever).
+    pub fn horizon(&self) -> u64 {
+        self.windows.iter().map(|&(_, e)| e).max().unwrap_or(0)
+    }
+
+    /// Drops windows ending at or before `now`.
+    pub fn prune(&mut self, now: u64) {
+        self.windows.retain(|&(_, e)| e > now);
+    }
+
+    /// Number of booked windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// `true` when nothing is booked.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Total busy cycles booked (utilisation numerator).
+    pub fn busy_cycles(&self) -> u64 {
+        self.windows.iter().map(|&(s, e)| e - s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_requests_append() {
+        let mut c = ResourceChannel::new();
+        assert_eq!(c.reserve(0, 10), (0, 10));
+        assert_eq!(c.reserve(10, 5), (10, 15));
+        assert_eq!(c.horizon(), 15);
+    }
+
+    #[test]
+    fn later_request_fills_earlier_gap() {
+        let mut c = ResourceChannel::new();
+        c.reserve(0, 10); // [0, 10)
+        c.reserve(50, 10); // [50, 60)
+        // A kernel simulated later but wanting cycle 12 slots into the gap.
+        assert_eq!(c.reserve(12, 20), (12, 32));
+        // And one that does not fit before 50 goes after 60.
+        assert_eq!(c.reserve(12, 30), (60, 90));
+    }
+
+    #[test]
+    fn collision_pushes_right() {
+        let mut c = ResourceChannel::new();
+        c.reserve(0, 100);
+        assert_eq!(c.reserve(40, 10), (100, 110));
+    }
+
+    #[test]
+    fn zero_duration_is_free() {
+        let mut c = ResourceChannel::new();
+        c.reserve(0, 10);
+        assert_eq!(c.reserve(5, 0), (5, 5));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn adjacent_windows_pack_tightly() {
+        let mut c = ResourceChannel::new();
+        c.reserve(0, 10);
+        c.reserve(20, 10);
+        assert_eq!(c.reserve(0, 10), (10, 20), "exact-fit gap");
+        assert_eq!(c.busy_cycles(), 30);
+    }
+
+    #[test]
+    fn prune_keeps_future_windows() {
+        let mut c = ResourceChannel::new();
+        c.reserve(0, 10);
+        c.reserve(20, 10);
+        c.prune(15);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.horizon(), 30);
+    }
+}

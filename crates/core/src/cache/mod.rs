@@ -1,0 +1,12 @@
+//! Cache-side state machines of the ARCANE LLC: the Cache Table, the
+//! Address Table and the controller lock.
+
+mod at;
+mod channel;
+mod locks;
+mod table;
+
+pub use at::{AddressTable, AtEntry, AtFull, OperandKind};
+pub use channel::ResourceChannel;
+pub use locks::LockWindows;
+pub use table::{CacheTable, LineState, Victim};

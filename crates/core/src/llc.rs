@@ -1,0 +1,539 @@
+//! The ARCANE smart LLC: cache + tightly-coupled matrix coprocessor.
+//!
+//! This type ties every piece of the paper's Figure 1 together:
+//!
+//! * it is a **cache** — [`ArcaneLlc::host_access`] implements the
+//!   fully-associative, write-back, approximate-LRU controller with the
+//!   lock and hazard stalls of §III-A;
+//! * it is a **coprocessor** — the [`Coprocessor`] implementation is the
+//!   bridge of §III-B: it samples offloaded `xmnmc` instructions,
+//!   decodes them in software (C-RT Kernel Decoder), schedules them on
+//!   the VPU with the fewest dirty lines (Kernel Scheduler) and runs
+//!   them through the Matrix Allocator and the vector units.
+//!
+//! Co-simulation model: kernel *data* effects are applied eagerly in
+//! host program order, while kernel *time* is laid out on an absolute
+//! cycle axis (decode → allocation → compute → writeback). Host
+//! accesses that would conflict (lock held, WAR on sources, RAW/WAW on
+//! destinations, all lines busy) stall until the corresponding phase
+//! completes — exactly the synchronisation the hardware enforces.
+
+use crate::cache::{AddressTable, AtEntry, CacheTable, LockWindows, OperandKind, ResourceChannel, Victim};
+use crate::config::ArcaneConfig;
+use crate::kernels::{KernelError, KernelLib, ResolvedArgs};
+use crate::runtime::ctx::KernelCtx;
+use crate::runtime::map::MatrixMap;
+use arcane_isa::xmnmc::{self, XmnmcOp};
+use arcane_mem::{Access, AccessSize, BusError, Dma2d, ExtMem, Memory};
+use arcane_rv32::{Coprocessor, XifResponse};
+use arcane_sim::{CacheStats, PhaseBreakdown, Sew};
+use arcane_vpu::Vpu;
+use std::collections::VecDeque;
+
+/// Completed-kernel record: identity, placement and phase timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelRecord {
+    /// `func5` kernel id.
+    pub id: u8,
+    /// Kernel mnemonic.
+    pub name: &'static str,
+    /// Element width.
+    pub width: Sew,
+    /// VPU the scheduler chose.
+    pub vpu: usize,
+    /// Absolute cycle the eCPU began decoding.
+    pub decode_start: u64,
+    /// Absolute cycle the writeback finished.
+    pub end: u64,
+    /// Cycles per phase (Figure 3's decomposition).
+    pub phases: PhaseBreakdown,
+}
+
+/// The ARCANE LLC subsystem.
+#[derive(Debug)]
+pub struct ArcaneLlc {
+    cfg: ArcaneConfig,
+    vpus: Vec<Vpu>,
+    table: CacheTable,
+    at: AddressTable,
+    locks: LockWindows,
+    map: MatrixMap,
+    lib: KernelLib,
+    ext: ExtMem,
+    dma: Dma2d,
+    /// Writeback-completion times of queued kernels (fixed-capacity
+    /// kernel queue back-pressure).
+    queue_done: VecDeque<u64>,
+    ecpu_free_at: u64,
+    vpu_free_at: Vec<u64>,
+    dma_chan: ResourceChannel,
+    ecpu_chan: ResourceChannel,
+    /// `xmr` decode work folded into the next kernel's preamble phase.
+    pending_preamble: u64,
+    records: Vec<KernelRecord>,
+    stats: CacheStats,
+    last_error: Option<KernelError>,
+}
+
+impl ArcaneLlc {
+    /// Builds the subsystem from a configuration.
+    pub fn new(cfg: ArcaneConfig) -> Self {
+        ArcaneLlc {
+            vpus: (0..cfg.n_vpus).map(|_| Vpu::new(cfg.vpu)).collect(),
+            table: CacheTable::new(cfg.n_lines(), cfg.line_bytes()),
+            at: AddressTable::new(cfg.at_capacity),
+            locks: LockWindows::new(),
+            map: MatrixMap::new(),
+            lib: KernelLib::builtin(),
+            ext: ExtMem::new(cfg.ext_base, cfg.ext_size, cfg.ext_first_word, cfg.ext_per_word),
+            dma: Dma2d::new(cfg.dma),
+            queue_done: VecDeque::new(),
+            ecpu_free_at: 0,
+            vpu_free_at: vec![0; cfg.n_vpus],
+            dma_chan: ResourceChannel::new(),
+            ecpu_chan: ResourceChannel::new(),
+            pending_preamble: 0,
+            records: Vec::new(),
+            stats: CacheStats::default(),
+            last_error: None,
+            cfg,
+        }
+    }
+
+    /// The configuration this instance was built with.
+    pub const fn config(&self) -> &ArcaneConfig {
+        &self.cfg
+    }
+
+    /// Read access to the external memory behind the cache
+    /// (workload seeding and result checking).
+    pub fn ext(&self) -> &ExtMem {
+        &self.ext
+    }
+
+    /// Write access to the external memory behind the cache.
+    pub fn ext_mut(&mut self) -> &mut ExtMem {
+        &mut self.ext
+    }
+
+    /// Registers (or replaces) a user kernel — the software-defined ISA
+    /// extensibility of §IV: new `xmkN` opcodes without hardware changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id > 30`.
+    pub fn register_kernel(&mut self, id: u8, kernel: Box<dyn crate::kernels::Kernel>) {
+        self.lib.register(id, kernel);
+    }
+
+    /// Records of every kernel executed so far, in completion order.
+    pub fn records(&self) -> &[KernelRecord] {
+        &self.records
+    }
+
+    /// Cache hit/miss/stall statistics for host accesses.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Number of `xmr` rebinds resolved by renaming.
+    pub fn renames(&self) -> u64 {
+        self.map.renames()
+    }
+
+    /// The kernel error behind the most recent rejected offload, if any.
+    pub fn last_error(&self) -> Option<&KernelError> {
+        self.last_error.as_ref()
+    }
+
+    /// Absolute cycle at which all queued kernel work completes.
+    pub fn completion_time(&self) -> u64 {
+        self.vpu_free_at
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(self.ecpu_free_at)
+    }
+
+    fn line_data(&self, idx: usize) -> &[u8] {
+        let vregs = self.cfg.vpu.vregs;
+        self.vpus[idx / vregs].line(idx % vregs)
+    }
+
+    fn line_data_mut(&mut self, idx: usize) -> &mut [u8] {
+        let vregs = self.cfg.vpu.vregs;
+        self.vpus[idx / vregs].line_mut(idx % vregs)
+    }
+
+    /// One host CPU data access through the smart cache.
+    ///
+    /// Returns the data and the total cycles the host was occupied,
+    /// including every stall (lock windows, hazard protection, busy
+    /// lines, miss service).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::OutOfRange`] when the address is not in the
+    /// cached external-memory region.
+    pub fn host_access(
+        &mut self,
+        addr: u32,
+        write: bool,
+        value: u32,
+        size: AccessSize,
+        now: u64,
+    ) -> Result<Access, BusError> {
+        if !self.ext.contains(addr, size.bytes()) {
+            return Err(BusError::OutOfRange { addr });
+        }
+
+        // A misaligned access crossing a line boundary becomes two
+        // transactions, one per line (as the bus adapter would split it).
+        let line_bytes = self.cfg.line_bytes();
+        if (addr as usize) % line_bytes + size.bytes() as usize > line_bytes {
+            let mut data = [0u8; 4];
+            let mut cycles = 0;
+            let vb = value.to_le_bytes();
+            for i in 0..size.bytes() {
+                let a = self.host_access(
+                    addr + i,
+                    write,
+                    vb[i as usize] as u32,
+                    AccessSize::Byte,
+                    now,
+                )?;
+                data[i as usize] = a.data as u8;
+                cycles += a.cycles;
+            }
+            return Ok(Access::new(u32::from_le_bytes(data), cycles));
+        }
+
+        // Hazard and lock stalls first (controller arbitration).
+        let mut t = now;
+        loop {
+            if let Some(e) = self.locks.stall_until(t) {
+                t = e;
+                continue;
+            }
+            if let Some(e) = self.at.stall_until(addr, size.bytes(), write, t) {
+                t = e;
+                continue;
+            }
+            break;
+        }
+        if t > now {
+            self.stats.stalls.incr();
+            self.stats.stall_cycles.add(t - now);
+        }
+
+        // Cache lookup; single-cycle hit (§III-A1).
+        let mut service = 0u64;
+        let line = match self.table.lookup(addr) {
+            Some(i) => {
+                self.stats.hits.incr();
+                i
+            }
+            None => {
+                self.stats.misses.incr();
+                let i = loop {
+                    match self.table.victim(t) {
+                        Victim::Line(i) => break i,
+                        Victim::AllBusyUntil(b) => {
+                            self.stats.stalls.incr();
+                            self.stats.stall_cycles.add(b - t);
+                            t = b;
+                        }
+                    }
+                };
+                service += self.refill(i, addr)?;
+                i
+            }
+        };
+        self.table.touch(line);
+
+        let tag = self.table.line(line).tag;
+        let off = (addr - tag) as usize;
+        let n = size.bytes() as usize;
+        let data = if write {
+            let bytes = value.to_le_bytes();
+            self.line_data_mut(line)[off..off + n].copy_from_slice(&bytes[..n]);
+            self.table.line_mut(line).dirty = true;
+            0
+        } else {
+            let mut b = [0u8; 4];
+            b[..n].copy_from_slice(&self.line_data(line)[off..off + n]);
+            u32::from_le_bytes(b)
+        };
+
+        Ok(Access::new(data, (t - now) + service + 1))
+    }
+
+    /// Evicts line `i` if needed and refills it with the block holding
+    /// `addr`. Returns the service cycles (writeback + fill bursts).
+    fn refill(&mut self, i: usize, addr: u32) -> Result<u64, BusError> {
+        let line_bytes = self.cfg.line_bytes();
+        let mut cycles = 0;
+        let old = *self.table.line(i);
+        if old.valid && old.dirty {
+            let data = self.line_data(i).to_vec();
+            self.ext.write_bytes(old.tag, &data)?;
+            cycles += self.ext.burst_cycles(line_bytes as u64);
+            self.stats.writebacks.incr();
+        }
+        let tag = self.table.tag_of(addr);
+        let mut buf = vec![0u8; line_bytes];
+        self.ext.read_bytes(tag, &mut buf)?;
+        self.line_data_mut(i).copy_from_slice(&buf);
+        cycles += self.ext.burst_cycles(line_bytes as u64);
+        let l = self.table.line_mut(i);
+        l.tag = tag;
+        l.valid = true;
+        l.dirty = false;
+        Ok(cycles)
+    }
+
+    /// Kernel Scheduler policy: the VPU with the fewest dirty lines,
+    /// breaking ties by earliest availability (§IV-B2).
+    fn choose_vpu(&self) -> usize {
+        let vregs = self.cfg.vpu.vregs;
+        (0..self.cfg.n_vpus)
+            .min_by_key(|&v| {
+                (
+                    self.table.dirty_in_range(v * vregs, (v + 1) * vregs),
+                    self.vpu_free_at[v],
+                    v,
+                )
+            })
+            .expect("at least one VPU")
+    }
+
+    fn reject(&mut self, err: KernelError) -> XifResponse {
+        self.last_error = Some(err);
+        XifResponse::Reject
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_reserve(
+        &mut self,
+        width: Sew,
+        md: arcane_isa::xmnmc::MatReg,
+        addr: u32,
+        stride: u16,
+        cols: u16,
+        rows: u16,
+        now: u64,
+    ) -> XifResponse {
+        let crt = self.cfg.crt;
+        self.map.bind(
+            md,
+            addr,
+            rows as usize,
+            cols as usize,
+            (stride as usize).max(1),
+            width,
+        );
+        let work = crt.irq_entry + crt.decode + crt.xmr_bind;
+        let (_, end) = self
+            .ecpu_chan
+            .reserve_fragmented(now + crt.bridge_latency, work, 16);
+        self.ecpu_free_at = self.ecpu_free_at.max(end);
+        self.pending_preamble += work;
+        XifResponse::Accept {
+            writeback: None,
+            cycles: crt.bridge_latency,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_kernel(
+        &mut self,
+        id: u8,
+        width: Sew,
+        alpha: i16,
+        beta: i16,
+        md: arcane_isa::xmnmc::MatReg,
+        ms1: arcane_isa::xmnmc::MatReg,
+        ms2: arcane_isa::xmnmc::MatReg,
+        ms3: arcane_isa::xmnmc::MatReg,
+        now: u64,
+    ) -> XifResponse {
+        let crt = self.cfg.crt;
+
+        // Kernel-queue back-pressure: the host handshake stalls until a
+        // slot frees (fixed-capacity, statically allocated queue).
+        while let Some(&front) = self.queue_done.front() {
+            if front <= now {
+                self.queue_done.pop_front();
+            } else {
+                break;
+            }
+        }
+        let mut host_cycles = crt.bridge_latency;
+        let mut t_now = now;
+        if self.queue_done.len() >= self.cfg.kernel_queue_capacity {
+            let free_at = self.queue_done[self.queue_done.len() - self.cfg.kernel_queue_capacity];
+            host_cycles += free_at.saturating_sub(now);
+            t_now = free_at;
+        }
+
+        // Kernel Decoder: O(1) library lookup first (unknown func5 is
+        // the kill path), then operand resolution.
+        if let Err(e) = self.lib.get(id) {
+            return self.reject(e);
+        }
+        let Some(md_view) = self.map.resolve(md) else {
+            return self.reject(KernelError::UnboundMatrix { reg: md });
+        };
+        let args = ResolvedArgs {
+            width,
+            alpha,
+            beta,
+            md: md_view,
+            ms1: self.map.resolve(ms1),
+            ms2: self.map.resolve(ms2),
+            ms3: self.map.resolve(ms3),
+        };
+        let sources = {
+            let kernel = match self.lib.get(id) {
+                Ok(k) => k,
+                Err(e) => return self.reject(e),
+            };
+            match kernel.validate(&args) {
+                Ok(s) => s,
+                Err(e) => return self.reject(e),
+            }
+        };
+
+        // Preamble: IRQ entry, decode, scheduling, plus any pending xmr
+        // work, booked on the (single) eCPU.
+        let preamble = crt.irq_entry + crt.decode + crt.schedule + self.pending_preamble;
+        self.pending_preamble = 0;
+        let (decode_start, decode_end) =
+            self.ecpu_chan
+                .reserve_fragmented(t_now + crt.bridge_latency, preamble, 16);
+        self.ecpu_free_at = self.ecpu_free_at.max(decode_end);
+
+        // Scheduler: VPU choice and kernel start.
+        let vpu = self.choose_vpu();
+        let t_start = decode_end.max(self.vpu_free_at[vpu]);
+
+        let mut ctx = KernelCtx {
+            vpus: &mut self.vpus,
+            vpu_index: vpu,
+            vregs: self.cfg.vpu.vregs,
+            table: &mut self.table,
+            ext: &mut self.ext,
+            dma: self.dma,
+            crt,
+            locks: &mut self.locks,
+            dma_chan: &mut self.dma_chan,
+            ecpu_chan: &mut self.ecpu_chan,
+            t: t_start,
+            phases: PhaseBreakdown {
+                preamble,
+                ..PhaseBreakdown::default()
+            },
+            last_alloc_end: t_start,
+            writebacks: 0,
+        };
+        let kernel = self.lib.get(id).expect("checked above");
+        let name = kernel.name();
+        if let Err(e) = kernel.run(&args, &mut ctx) {
+            return self.reject(e);
+        }
+        let end = ctx.t;
+        let phases = ctx.phases;
+        let last_alloc_end = ctx.last_alloc_end;
+        let wbs = ctx.writebacks;
+        self.stats.writebacks.add(wbs);
+
+        // Mark the VPU's lines busy-computing until the kernel retires.
+        let vregs = self.cfg.vpu.vregs;
+        for i in vpu * vregs..(vpu + 1) * vregs {
+            let l = self.table.line_mut(i);
+            l.busy_until = l.busy_until.max(end);
+        }
+
+        // Address Table: WAR protection on sources until the last
+        // allocation, RAW/WAW protection on the destination until
+        // writeback completes.
+        for s in &sources {
+            let entry = AtEntry {
+                start: s.addr,
+                end: s.end_addr(),
+                kind: OperandKind::Source,
+                protect_until: last_alloc_end,
+                matrix: s.phys_id,
+            };
+            if self.at.register(entry, now).is_err() {
+                return self.reject(KernelError::ShapeMismatch {
+                    what: "address table exhausted",
+                });
+            }
+        }
+        let dest_entry = AtEntry {
+            start: md_view.addr,
+            end: md_view.end_addr(),
+            kind: OperandKind::Destination,
+            protect_until: end,
+            matrix: md_view.phys_id,
+        };
+        if self.at.register(dest_entry, now).is_err() {
+            return self.reject(KernelError::ShapeMismatch {
+                what: "address table exhausted",
+            });
+        }
+
+        self.vpu_free_at[vpu] = end;
+        self.queue_done.push_back(end);
+        self.locks.prune(now.saturating_sub(1));
+        self.records.push(KernelRecord {
+            id,
+            name,
+            width,
+            vpu,
+            decode_start,
+            end,
+            phases,
+        });
+
+        XifResponse::Accept {
+            writeback: None,
+            cycles: host_cycles,
+        }
+    }
+}
+
+impl Coprocessor for ArcaneLlc {
+    fn offload(&mut self, raw: u32, rs1: u32, rs2: u32, rs3: u32, now: u64) -> XifResponse {
+        let x = match xmnmc::decode_raw(raw) {
+            Ok(x) => x,
+            Err(_) => return XifResponse::Reject,
+        };
+        let op = match XmnmcOp::decode(&x, rs1, rs2, rs3) {
+            Ok(op) => op,
+            Err(_) => return XifResponse::Reject,
+        };
+        match op {
+            XmnmcOp::MatReserve {
+                width,
+                md,
+                addr,
+                stride,
+                cols,
+                rows,
+            } => self.handle_reserve(width, md, addr, stride, cols, rows, now),
+            XmnmcOp::Kernel {
+                id,
+                width,
+                alpha,
+                beta,
+                md,
+                ms1,
+                ms2,
+                ms3,
+            } => self.handle_kernel(id, width, alpha, beta, md, ms1, ms2, ms3, now),
+        }
+    }
+}

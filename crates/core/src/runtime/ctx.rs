@@ -1,0 +1,588 @@
+//! The kernel execution context: the Matrix Allocator and VPU dispatch
+//! services a [`crate::kernels::Kernel`] uses while it runs.
+//!
+//! The context owns the kernel's *time cursor*. Every service charges
+//! its cycles to one of the paper's four phases (preamble cycles are
+//! charged by the decoder before the kernel starts):
+//!
+//! * [`KernelCtx::load_rows`] — **allocation**: controller lock, dirty
+//!   flushes, 2-D DMA of operand rows into the VPU's cache lines;
+//! * [`KernelCtx::exec`] / [`KernelCtx::set_scalar`] /
+//!   [`KernelCtx::peek`] — **compute**: eCPU issue overhead plus VPU
+//!   datapath cycles;
+//! * [`KernelCtx::store_row`] / [`KernelCtx::store_row_strided`] —
+//!   **writeback**: lock, consolidation DMA back to memory, cache-line
+//!   release.
+
+use crate::cache::{CacheTable, LockWindows, ResourceChannel};
+use crate::config::CrtTiming;
+use crate::kernels::KernelError;
+use crate::runtime::map::MatView;
+use arcane_isa::vector::{Sr, VInstr, Vr};
+use arcane_mem::{Dma2d, DmaJob, ExtMem, Memory};
+use arcane_sim::{Phase, PhaseBreakdown, Sew};
+use arcane_vpu::Vpu;
+
+/// Execution services available to a running kernel.
+#[derive(Debug)]
+pub struct KernelCtx<'a> {
+    pub(crate) vpus: &'a mut [Vpu],
+    pub(crate) vpu_index: usize,
+    pub(crate) vregs: usize,
+    pub(crate) table: &'a mut CacheTable,
+    pub(crate) ext: &'a mut ExtMem,
+    pub(crate) dma: Dma2d,
+    pub(crate) crt: CrtTiming,
+    pub(crate) locks: &'a mut LockWindows,
+    pub(crate) dma_chan: &'a mut ResourceChannel,
+    pub(crate) ecpu_chan: &'a mut ResourceChannel,
+    pub(crate) t: u64,
+    pub(crate) phases: PhaseBreakdown,
+    pub(crate) last_alloc_end: u64,
+    pub(crate) writebacks: u64,
+}
+
+impl<'a> KernelCtx<'a> {
+    /// Index of the VPU the scheduler assigned to this kernel.
+    pub fn vpu_index(&self) -> usize {
+        self.vpu_index
+    }
+
+    /// Number of vector registers available on the assigned VPU.
+    pub fn vregs(&self) -> usize {
+        self.vregs
+    }
+
+    /// Maximum vector length in elements for width `sew`.
+    pub fn max_vl(&self, sew: Sew) -> usize {
+        self.vpus[self.vpu_index].config().max_vl(sew)
+    }
+
+    /// Current time cursor (absolute cycles).
+    pub fn now(&self) -> u64 {
+        self.t
+    }
+
+    fn charge(&mut self, phase: Phase, cycles: u64) {
+        self.t += cycles;
+        self.phases.charge(phase, cycles);
+    }
+
+    /// Books eCPU time (the single controller core is shared by every
+    /// concurrent kernel) and advances the cursor past the granted slot.
+    fn ecpu_work(&mut self, phase: Phase, cycles: u64) {
+        let t0 = self.t;
+        let (_, end) = self.ecpu_chan.reserve(self.t, cycles);
+        self.t = end;
+        self.phases.charge(phase, end - t0);
+    }
+
+    /// Sets the active vector length and element width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Vpu`] if `vl` exceeds the register size.
+    pub fn set_vl(&mut self, vl: usize, sew: Sew) -> Result<(), KernelError> {
+        let cycles = self.vpus[self.vpu_index].execute_one(&VInstr::SetVl {
+            vl: vl as u16,
+            sew,
+        })?;
+        self.ecpu_work(Phase::Compute, self.crt.vinstr_issue);
+        self.charge(Phase::Compute, cycles);
+        Ok(())
+    }
+
+    /// Dispatches a vector micro-program to the VPU, charging eCPU issue
+    /// overhead per instruction plus the datapath cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Vpu`] on a malformed program.
+    pub fn exec(&mut self, prog: &[VInstr]) -> Result<(), KernelError> {
+        let stats = self.vpus[self.vpu_index].execute(prog)?;
+        self.ecpu_work(Phase::Compute, self.crt.vinstr_issue * stats.instrs);
+        self.charge(Phase::Compute, stats.cycles);
+        Ok(())
+    }
+
+    /// Writes a VPU scalar register (filter taps, activation slopes, …).
+    pub fn set_scalar(&mut self, rs: Sr, value: u32) {
+        self.vpus[self.vpu_index].set_sreg(rs, value);
+        self.ecpu_work(Phase::Compute, self.crt.sreg_write);
+    }
+
+    /// Reads element `idx` of vector register `vreg` through the eCPU
+    /// port (used by GeMM to fetch the `A` scalars).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element lies outside the register.
+    pub fn peek(&mut self, vreg: Vr, idx: usize, sew: Sew) -> i64 {
+        self.ecpu_work(Phase::Compute, self.crt.elem_read);
+        let line = self.vpus[self.vpu_index].line(vreg.index() as usize);
+        let o = idx * sew.bytes();
+        match sew {
+            Sew::Byte => line[o] as i8 as i64,
+            Sew::Half => i16::from_le_bytes([line[o], line[o + 1]]) as i64,
+            Sew::Word => i32::from_le_bytes([line[o], line[o + 1], line[o + 2], line[o + 3]]) as i64,
+        }
+    }
+
+    fn line_index(&self, vreg: usize) -> usize {
+        self.vpu_index * self.vregs + vreg
+    }
+
+    /// Flushes every valid dirty cache line overlapping `[start, end)`
+    /// to external memory, returning the cycles consumed. This is the
+    /// coherence step of the software-driven DMA (§III-A4): allocation
+    /// reads must observe host stores that are still cache-resident.
+    fn flush_range(&mut self, start: u32, end: u32) -> u64 {
+        let idxs: Vec<usize> = self
+            .table
+            .lines_overlapping(start, end)
+            .filter(|(_, l)| l.dirty)
+            .map(|(i, _)| i)
+            .collect();
+        let mut cycles = 0;
+        let line_bytes = self.table.line_bytes();
+        for i in idxs {
+            let tag = self.table.line(i).tag;
+            let (v, r) = (i / self.vregs, i % self.vregs);
+            let data = self.vpus[v].line(r).to_vec();
+            self.ext
+                .write_bytes(tag, &data)
+                .expect("cached tag must map to external memory");
+            cycles += self.ext.burst_cycles(line_bytes as u64);
+            let l = self.table.line_mut(i);
+            l.dirty = false;
+            self.writebacks += 1;
+        }
+        cycles
+    }
+
+    /// Evicts whatever the cache holds in this VPU's register `vreg`
+    /// (write-back if dirty), freeing it for kernel data.
+    fn evict_vreg(&mut self, vreg: usize) -> u64 {
+        let i = self.line_index(vreg);
+        let l = *self.table.line(i);
+        let mut cycles = 0;
+        if l.valid {
+            if l.dirty {
+                let data = self.vpus[self.vpu_index].line(vreg).to_vec();
+                self.ext
+                    .write_bytes(l.tag, &data)
+                    .expect("cached tag must map to external memory");
+                cycles += self.ext.burst_cycles(self.table.line_bytes() as u64);
+                self.writebacks += 1;
+            }
+            let l = self.table.line_mut(i);
+            l.valid = false;
+            l.dirty = false;
+        }
+        cycles
+    }
+
+    /// Loads `n_rows` rows of `mat`, starting at `row0`, into
+    /// consecutive vector registers beginning at `vreg0` (one row per
+    /// register). One 2-D DMA transaction under the controller lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::RowTooWide`] if a row exceeds the vector
+    /// length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows lie outside external memory (the decoder
+    /// validates operand ranges first).
+    pub fn load_rows(
+        &mut self,
+        mat: &MatView,
+        row0: usize,
+        n_rows: usize,
+        vreg0: usize,
+    ) -> Result<(), KernelError> {
+        let vlen = self.vpus[self.vpu_index].config().vlen_bytes;
+        if mat.row_bytes() as usize > vlen {
+            return Err(KernelError::RowTooWide {
+                cols: mat.cols,
+                max: vlen / mat.sew.bytes(),
+            });
+        }
+        let t0 = self.t;
+        let mut work = self.crt.lock_acquire + self.crt.tile_overhead;
+
+        // Coherence: push host-dirty data for these rows out to memory.
+        let start = mat.row_addr(row0);
+        let end = mat.row_addr(row0 + n_rows - 1) + mat.row_bytes();
+        work += self.flush_range(start, end);
+
+        // Free the target registers.
+        for v in vreg0..vreg0 + n_rows {
+            work += self.evict_vreg(v);
+        }
+
+        self.t += work;
+
+        // The single shared DMA channel: book the earliest gap.
+        let job = DmaJob {
+            src: start,
+            dst: 0, // destination is the VPU register file, filled below
+            elem_bytes: mat.sew.bytes() as u32,
+            cols: mat.cols as u32,
+            rows: n_rows as u32,
+            src_stride: mat.pitch_bytes(),
+            dst_stride: vlen as u32,
+        };
+        let dma_cycles = self.dma.timing().cycles(&job)
+            + self.ext.burst_cycles(job.bytes()).saturating_sub(job.bytes().div_ceil(4));
+        let (_, dma_end) = self.dma_chan.reserve(self.t, dma_cycles);
+
+        // Functional copy: external memory -> vector registers.
+        let row_bytes = mat.row_bytes() as usize;
+        let mut buf = vec![0u8; row_bytes];
+        for r in 0..n_rows {
+            self.ext
+                .read_bytes(mat.row_addr(row0 + r), &mut buf)
+                .expect("operand rows must lie in external memory");
+            let dst = self.vpus[self.vpu_index].line_mut(vreg0 + r);
+            dst[..row_bytes].copy_from_slice(&buf);
+            dst[row_bytes..].fill(0);
+        }
+
+        let t_end = dma_end + self.crt.lock_release;
+        self.phases.charge(Phase::Allocation, t_end - t0);
+        self.t = t_end;
+        self.locks.add(t0, t_end);
+        self.last_alloc_end = self.last_alloc_end.max(t_end);
+        Ok(())
+    }
+
+    /// Zero-fills vector register `vreg` (also evicts cached data from
+    /// that line). Charged as compute (a broadcast would do the same).
+    pub fn clear_vreg(&mut self, vreg: usize) {
+        let cycles = self.evict_vreg(vreg);
+        self.vpus[self.vpu_index].line_mut(vreg).fill(0);
+        let bw = self.vpus[self.vpu_index].config().bytes_per_cycle();
+        let vlen = self.vpus[self.vpu_index].config().vlen_bytes as u64;
+        self.charge(
+            Phase::Compute,
+            cycles + self.crt.vinstr_issue + vlen.div_ceil(bw),
+        );
+    }
+
+    /// Writes the first `n_elems` elements of `vreg` densely to
+    /// `dst_addr` (writeback consolidation DMA, under the lock).
+    pub fn store_row(&mut self, vreg: usize, n_elems: usize, sew: Sew, dst_addr: u32) {
+        self.store_row_strided(vreg, 0, 1, n_elems, sew, dst_addr);
+    }
+
+    /// Scatters the first `n` elements of `vreg` to `dst_addr` with
+    /// `dst_pitch_bytes` between consecutive elements — a row written
+    /// out as a *column* (2-D DMA with a one-element row), used by the
+    /// transpose kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination lies outside external memory.
+    pub fn store_row_as_column(
+        &mut self,
+        vreg: usize,
+        n: usize,
+        sew: Sew,
+        dst_addr: u32,
+        dst_pitch_bytes: u32,
+    ) {
+        let t0 = self.t;
+        let mut work = self.crt.lock_acquire;
+        let span = dst_pitch_bytes * (n as u32 - 1) + sew.bytes() as u32;
+        work += self.flush_range(dst_addr, dst_addr + span);
+        let stale: Vec<usize> = self
+            .table
+            .lines_overlapping(dst_addr, dst_addr + span)
+            .map(|(i, _)| i)
+            .collect();
+        for i in stale {
+            let l = self.table.line_mut(i);
+            l.valid = false;
+            l.dirty = false;
+        }
+        self.t += work;
+
+        let job = DmaJob {
+            src: 0,
+            dst: dst_addr,
+            elem_bytes: sew.bytes() as u32,
+            cols: 1,
+            rows: n as u32,
+            src_stride: sew.bytes() as u32,
+            dst_stride: dst_pitch_bytes,
+        };
+        // Scattered single-element writes cannot burst: every element
+        // pays a random-access cost.
+        let dma_cycles =
+            self.dma.timing().cycles(&job) + self.ext.first_word_cycles() * n as u64 / 4;
+        let (_, dma_end) = self.dma_chan.reserve(self.t, dma_cycles);
+
+        let src = self.vpus[self.vpu_index].line(vreg);
+        let mut elems = Vec::with_capacity(n);
+        for i in 0..n {
+            let o = i * sew.bytes();
+            elems.push(src[o..o + sew.bytes()].to_vec());
+        }
+        for (i, e) in elems.iter().enumerate() {
+            self.ext
+                .write_bytes(dst_addr + i as u32 * dst_pitch_bytes, e)
+                .expect("kernel destination must lie in external memory");
+        }
+
+        let t_end = dma_end + self.crt.lock_release;
+        self.phases.charge(Phase::Writeback, t_end - t0);
+        self.t = t_end;
+        self.locks.add(t0, t_end);
+    }
+
+    /// Gathers `n_out` elements of `vreg` — elements
+    /// `first_elem, first_elem + elem_stride, …` — and writes them
+    /// densely to `dst_addr`. This is how pooled/strided results are
+    /// consolidated into a contiguous destination (§IV-B3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination lies outside external memory.
+    pub fn store_row_strided(
+        &mut self,
+        vreg: usize,
+        first_elem: usize,
+        elem_stride: usize,
+        n_out: usize,
+        sew: Sew,
+        dst_addr: u32,
+    ) {
+        let t0 = self.t;
+        let mut work = self.crt.lock_acquire;
+
+        let bytes_out = (n_out * sew.bytes()) as u32;
+        // Preserve host-dirty bytes sharing cache lines with the
+        // destination, then drop the stale cached copies.
+        work += self.flush_range(dst_addr, dst_addr + bytes_out);
+        let stale: Vec<usize> = self
+            .table
+            .lines_overlapping(dst_addr, dst_addr + bytes_out)
+            .map(|(i, _)| i)
+            .collect();
+        for i in stale {
+            let l = self.table.line_mut(i);
+            l.valid = false;
+            l.dirty = false;
+        }
+        self.t += work;
+
+        let job = DmaJob {
+            src: 0,
+            dst: dst_addr,
+            elem_bytes: sew.bytes() as u32,
+            cols: 1,
+            rows: n_out as u32,
+            src_stride: (elem_stride * sew.bytes()) as u32,
+            dst_stride: sew.bytes() as u32,
+        };
+        // A dense row (stride 1) is a single-row burst for the DMA.
+        let dma_cycles = if elem_stride == 1 {
+            let dense = DmaJob {
+                cols: n_out as u32,
+                rows: 1,
+                src_stride: bytes_out,
+                dst_stride: bytes_out,
+                ..job
+            };
+            self.dma.timing().cycles(&dense)
+        } else {
+            self.dma.timing().cycles(&job)
+        } + self
+            .ext
+            .burst_cycles(bytes_out as u64)
+            .saturating_sub(bytes_out as u64 / 4);
+
+        let (_, dma_end) = self.dma_chan.reserve(self.t, dma_cycles);
+
+        // Functional gather: vreg -> external memory.
+        let src = self.vpus[self.vpu_index].line(vreg);
+        let mut out = Vec::with_capacity(n_out * sew.bytes());
+        for k in 0..n_out {
+            let o = (first_elem + k * elem_stride) * sew.bytes();
+            out.extend_from_slice(&src[o..o + sew.bytes()]);
+        }
+        self.ext
+            .write_bytes(dst_addr, &out)
+            .expect("kernel destination must lie in external memory");
+
+        let t_end = dma_end + self.crt.lock_release;
+        self.phases.charge(Phase::Writeback, t_end - t0);
+        self.t = t_end;
+        self.locks.add(t0, t_end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheTable;
+    use arcane_vpu::VpuConfig;
+
+    fn fixture() -> (Vec<Vpu>, CacheTable, ExtMem, LockWindows) {
+        let vpus = vec![Vpu::new(VpuConfig::with_lanes(4)); 2];
+        let table = CacheTable::new(64, 1024);
+        let ext = ExtMem::new(0x2000_0000, 1 << 20, 10, 1);
+        (vpus, table, ext, LockWindows::new())
+    }
+
+    fn ctx<'a>(
+        vpus: &'a mut Vec<Vpu>,
+        table: &'a mut CacheTable,
+        ext: &'a mut ExtMem,
+        locks: &'a mut LockWindows,
+        chans: &'a mut (ResourceChannel, ResourceChannel),
+    ) -> KernelCtx<'a> {
+        KernelCtx {
+            vpus,
+            vpu_index: 0,
+            vregs: 32,
+            table,
+            ext,
+            dma: Dma2d::default(),
+            crt: CrtTiming::default_tariff(),
+            locks,
+            dma_chan: &mut chans.0,
+            ecpu_chan: &mut chans.1,
+            t: 1000,
+            phases: PhaseBreakdown::default(),
+            last_alloc_end: 0,
+            writebacks: 0,
+        }
+    }
+
+    #[test]
+    fn load_rows_copies_and_charges_allocation() {
+        let (mut vpus, mut table, mut ext, mut locks) = fixture();
+        for i in 0..64u32 {
+            ext.write_u32(0x2000_0000 + i * 4, i).unwrap();
+        }
+        let mut chans = (ResourceChannel::new(), ResourceChannel::new());
+        let mut c = ctx(&mut vpus, &mut table, &mut ext, &mut locks, &mut chans);
+        let mat = MatView {
+            addr: 0x2000_0000,
+            rows: 4,
+            cols: 8,
+            stride: 2, // pitch 16 elements
+            sew: Sew::Word,
+            phys_id: 0,
+        };
+        c.load_rows(&mat, 1, 2, 5).unwrap();
+        assert!(c.phases.allocation > 0);
+        assert_eq!(c.phases.compute, 0);
+        // row 1 starts at element 16 (pitch = 2*8 = 16 words)
+        let line = vpus[0].line(5);
+        assert_eq!(
+            i32::from_le_bytes([line[0], line[1], line[2], line[3]]),
+            16
+        );
+        assert!(!locks.is_empty(), "allocation must hold the lock");
+    }
+
+    #[test]
+    fn row_too_wide_is_rejected() {
+        let (mut vpus, mut table, mut ext, mut locks) = fixture();
+        let mut chans = (ResourceChannel::new(), ResourceChannel::new());
+        let mut c = ctx(&mut vpus, &mut table, &mut ext, &mut locks, &mut chans);
+        let mat = MatView {
+            addr: 0x2000_0000,
+            rows: 1,
+            cols: 300, // 1200 bytes > 1024
+            stride: 1,
+            sew: Sew::Word,
+            phys_id: 0,
+        };
+        assert!(matches!(
+            c.load_rows(&mat, 0, 1, 0),
+            Err(KernelError::RowTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn dirty_cache_line_is_flushed_before_allocation() {
+        let (mut vpus, mut table, mut ext, mut locks) = fixture();
+        // Host wrote 0xAB into a cached line covering the operand.
+        let tag = 0x2000_0000;
+        table.line_mut(40).valid = true;
+        table.line_mut(40).dirty = true;
+        table.line_mut(40).tag = tag;
+        vpus[1].line_mut(8)[0] = 0xab; // line 40 = vpu 1, vreg 8
+        let mut chans = (ResourceChannel::new(), ResourceChannel::new());
+        let mut c = ctx(&mut vpus, &mut table, &mut ext, &mut locks, &mut chans);
+        let mat = MatView {
+            addr: tag,
+            rows: 1,
+            cols: 4,
+            stride: 1,
+            sew: Sew::Byte,
+            phys_id: 0,
+        };
+        c.load_rows(&mat, 0, 1, 0).unwrap();
+        // The allocator must see the host's 0xAB, not stale memory.
+        assert_eq!(vpus[0].line(0)[0], 0xab);
+        assert!(!table.line(40).dirty, "flush clears dirty");
+    }
+
+    #[test]
+    fn store_row_strided_gathers_elements() {
+        let (mut vpus, mut table, mut ext, mut locks) = fixture();
+        for i in 0..8 {
+            vpus[0].line_mut(3)[i * 4..i * 4 + 4].copy_from_slice(&(i as i32).to_le_bytes());
+        }
+        let mut chans = (ResourceChannel::new(), ResourceChannel::new());
+        let mut c = ctx(&mut vpus, &mut table, &mut ext, &mut locks, &mut chans);
+        c.store_row_strided(3, 0, 2, 4, Sew::Word, 0x2000_4000);
+        assert!(c.phases.writeback > 0);
+        for k in 0..4u32 {
+            assert_eq!(ext.read_u32(0x2000_4000 + k * 4).unwrap(), 2 * k);
+        }
+    }
+
+    #[test]
+    fn compute_services_charge_compute_phase() {
+        let (mut vpus, mut table, mut ext, mut locks) = fixture();
+        let mut chans = (ResourceChannel::new(), ResourceChannel::new());
+        let mut c = ctx(&mut vpus, &mut table, &mut ext, &mut locks, &mut chans);
+        c.set_vl(8, Sew::Word).unwrap();
+        c.set_scalar(Sr::new(0).unwrap(), 7);
+        let before = c.phases.compute;
+        c.exec(&[VInstr::BroadcastX {
+            vd: Vr::new(1).unwrap(),
+            rs: Sr::new(0).unwrap(),
+        }])
+        .unwrap();
+        assert!(c.phases.compute > before);
+        assert_eq!(c.peek(Vr::new(1).unwrap(), 3, Sew::Word), 7);
+    }
+
+    #[test]
+    fn dma_channel_serialises() {
+        let (mut vpus, mut table, mut ext, mut locks) = fixture();
+        let mut chans = (ResourceChannel::new(), ResourceChannel::new());
+        // Another kernel's transfer occupies the channel around the time
+        // this kernel wants it.
+        chans.0.reserve(0, 5_000);
+        let mut c = ctx(&mut vpus, &mut table, &mut ext, &mut locks, &mut chans);
+        let mat = MatView {
+            addr: 0x2000_0000,
+            rows: 1,
+            cols: 4,
+            stride: 1,
+            sew: Sew::Word,
+            phys_id: 0,
+        };
+        c.load_rows(&mat, 0, 1, 0).unwrap();
+        assert!(c.now() > 5_000, "transfer must wait for the DMA channel");
+    }
+}

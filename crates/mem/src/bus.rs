@@ -1,0 +1,123 @@
+//! CPU-facing bus abstraction carrying both data and timing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Width of a single bus access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessSize {
+    /// 8-bit access.
+    Byte,
+    /// 16-bit access.
+    Half,
+    /// 32-bit access.
+    Word,
+}
+
+impl AccessSize {
+    /// Size in bytes.
+    pub const fn bytes(self) -> u32 {
+        match self {
+            AccessSize::Byte => 1,
+            AccessSize::Half => 2,
+            AccessSize::Word => 4,
+        }
+    }
+}
+
+/// Result of a bus access: the data transferred and the cycles consumed.
+///
+/// `cycles` includes any stall imposed by the target (cache miss
+/// service, lock contention, busy-computing lines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Data read (zero for writes).
+    pub data: u32,
+    /// Total cycles the access occupied the requester.
+    pub cycles: u64,
+}
+
+impl Access {
+    /// Convenience constructor.
+    pub const fn new(data: u32, cycles: u64) -> Self {
+        Access { data, cycles }
+    }
+}
+
+/// Error raised by a bus target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusError {
+    /// No device claims the address.
+    OutOfRange {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// The access crosses the end of the backing storage.
+    Truncated {
+        /// The faulting address.
+        addr: u32,
+        /// Bytes requested.
+        len: u32,
+    },
+}
+
+impl fmt::Display for BusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusError::OutOfRange { addr } => write!(f, "bus error: no device at {addr:#010x}"),
+            BusError::Truncated { addr, len } => {
+                write!(f, "bus error: {len}-byte access at {addr:#010x} exceeds device")
+            }
+        }
+    }
+}
+
+impl Error for BusError {}
+
+/// A CPU port into the memory system.
+///
+/// The instruction-set simulator is generic over `Bus`, so the same core
+/// drives the baseline system (standard cache) and the ARCANE system
+/// (smart cache with hazard stalls) — only the bus implementation
+/// differs, exactly like swapping the LLC in the paper.
+pub trait Bus {
+    /// Reads `size` bytes at `addr` at absolute time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError`] when no device claims the address.
+    fn read(&mut self, addr: u32, size: AccessSize, now: u64) -> Result<Access, BusError>;
+
+    /// Writes the low `size` bytes of `value` at `addr` at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError`] when no device claims the address.
+    fn write(&mut self, addr: u32, value: u32, size: AccessSize, now: u64)
+        -> Result<Access, BusError>;
+
+    /// Fetches the 32-bit instruction word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError`] when the address is not executable memory.
+    fn fetch(&mut self, addr: u32, now: u64) -> Result<Access, BusError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_size_bytes() {
+        assert_eq!(AccessSize::Byte.bytes(), 1);
+        assert_eq!(AccessSize::Half.bytes(), 2);
+        assert_eq!(AccessSize::Word.bytes(), 4);
+    }
+
+    #[test]
+    fn bus_error_messages() {
+        let e = BusError::OutOfRange { addr: 0x1234 };
+        assert!(e.to_string().contains("0x00001234"));
+    }
+}

@@ -1,0 +1,35 @@
+//! Memory substrate for the ARCANE reproduction.
+//!
+//! The paper's system (Figure 1) contains an instruction memory, an
+//! external flash/PSRAM behind the LLC, a system bus and the X-HEEP 2-D
+//! DMA used by the Matrix Allocator. This crate models all of them:
+//!
+//! * [`Bus`] — the CPU-facing port abstraction; every access returns the
+//!   data **and** the cycles it consumed, which is how the timing model
+//!   propagates through the simulation.
+//! * [`Memory`] — byte-addressed storage trait with [`Sram`] (single
+//!   cycle) and [`ExtMem`] (burst-modeled flash/PSRAM) implementations.
+//! * [`Dma2d`] — the 2-D strided DMA engine (paper §III-A4) that the
+//!   cache controller and the Matrix Allocator program to move operand
+//!   tiles between external memory and the VPU cache lines.
+//!
+//! # Examples
+//!
+//! ```
+//! use arcane_mem::{Memory, Sram};
+//!
+//! let mut ram = Sram::new(0x1000, 64);
+//! ram.write_u32(0x1010, 0xdeadbeef).unwrap();
+//! assert_eq!(ram.read_u32(0x1010).unwrap(), 0xdeadbeef);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bus;
+mod dma;
+mod storage;
+
+pub use bus::{Access, AccessSize, Bus, BusError};
+pub use dma::{Dma2d, DmaJob, DmaTiming};
+pub use storage::{ExtMem, Memory, Sram};

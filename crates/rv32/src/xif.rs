@@ -1,0 +1,54 @@
+//! CV-X-IF-style coprocessor offloading interface.
+//!
+//! When the core decodes a custom-2 instruction it does not raise an
+//! illegal-instruction exception; instead it *offers* the instruction to
+//! the attached coprocessor together with the three source-register
+//! values, exactly like the OpenHW CORE-V-X-IF used by the paper. The
+//! ARCANE bridge accepts `xmnmc` instructions and the host continues in
+//! an out-of-order fashion (paper §III-B).
+
+/// Outcome of offering an instruction to the coprocessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XifResponse {
+    /// The coprocessor accepted and commits the instruction.
+    Accept {
+        /// Value to write to `rd`, if the instruction produces one.
+        writeback: Option<u32>,
+        /// Cycles the *host* is stalled by the offload handshake
+        /// (decode result wait, kernel-queue back-pressure).
+        cycles: u64,
+    },
+    /// The coprocessor rejected the instruction (host raises an
+    /// illegal-instruction fault — the "kill" path).
+    Reject,
+}
+
+/// A CV-X-IF coprocessor attached to the core.
+pub trait Coprocessor {
+    /// Offers the raw instruction word plus the values of `rs1`, `rs2`
+    /// and `rs3` at absolute cycle `now`.
+    fn offload(&mut self, raw: u32, rs1: u32, rs2: u32, rs3: u32, now: u64) -> XifResponse;
+}
+
+/// A coprocessor slot with nothing attached: every offload is rejected.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCoprocessor;
+
+impl Coprocessor for NoCoprocessor {
+    fn offload(&mut self, _raw: u32, _rs1: u32, _rs2: u32, _rs3: u32, _now: u64) -> XifResponse {
+        XifResponse::Reject
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_coprocessor_rejects() {
+        assert_eq!(
+            NoCoprocessor.offload(0x5b, 1, 2, 3, 0),
+            XifResponse::Reject
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Monotonic cycle counter shared by co-simulated components.
+
+/// A monotonic simulation clock counting elapsed hardware cycles.
+///
+/// ARCANE co-simulates several agents (host CPU, bridge, eCPU runtime,
+/// DMA engine, VPUs). Each agent charges the cycles it consumes to a
+/// shared `Clock`; agents that run concurrently instead compute a
+/// *completion time* and use [`Clock::advance_to`] to synchronise.
+///
+/// # Examples
+///
+/// ```
+/// use arcane_sim::Clock;
+/// let mut clk = Clock::new();
+/// clk.advance(5);
+/// clk.advance_to(3); // already past 3: no-op
+/// assert_eq!(clk.now(), 5);
+/// clk.advance_to(9);
+/// assert_eq!(clk.now(), 9);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Clock {
+    now: u64,
+}
+
+impl Clock {
+    /// Creates a clock at cycle zero.
+    pub const fn new() -> Self {
+        Clock { now: 0 }
+    }
+
+    /// Current simulation time in cycles.
+    pub const fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances the clock by `cycles`.
+    pub fn advance(&mut self, cycles: u64) {
+        self.now += cycles;
+    }
+
+    /// Advances the clock to absolute time `t` if `t` is in the future;
+    /// does nothing otherwise (time never moves backwards).
+    pub fn advance_to(&mut self, t: u64) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Resets the clock to cycle zero.
+    pub fn reset(&mut self) {
+        self.now = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut c = Clock::new();
+        c.advance(7);
+        assert_eq!(c.now(), 7);
+        c.advance_to(4);
+        assert_eq!(c.now(), 7, "advance_to must never rewind");
+        c.advance_to(20);
+        assert_eq!(c.now(), 20);
+    }
+
+    #[test]
+    fn reset_returns_to_zero() {
+        let mut c = Clock::new();
+        c.advance(100);
+        c.reset();
+        assert_eq!(c.now(), 0);
+    }
+}

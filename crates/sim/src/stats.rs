@@ -1,0 +1,125 @@
+//! Lightweight event statistics used by the memory-system models.
+
+use std::fmt;
+
+/// A saturating event counter.
+///
+/// # Examples
+///
+/// ```
+/// use arcane_sim::Counter;
+/// let mut c = Counter::new();
+/// c.incr();
+/// c.add(4);
+/// assert_eq!(c.get(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    /// Adds `n` events.
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Current count.
+    pub const fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Hit/miss/writeback statistics for a cache model.
+///
+/// # Examples
+///
+/// ```
+/// use arcane_sim::CacheStats;
+/// let mut s = CacheStats::default();
+/// s.hits.add(9);
+/// s.misses.incr();
+/// assert!((s.hit_rate() - 0.9).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses resolved within the cache.
+    pub hits: Counter,
+    /// Accesses requiring a line refill.
+    pub misses: Counter,
+    /// Dirty lines written back to backing memory.
+    pub writebacks: Counter,
+    /// Accesses stalled by a lock or a busy-computing line.
+    pub stalls: Counter,
+    /// Total cycles spent stalled.
+    pub stall_cycles: Counter,
+}
+
+impl CacheStats {
+    /// Total number of accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.hits.get() + self.misses.get()
+    }
+
+    /// Hit rate in `[0, 1]`; zero when no accesses were recorded.
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.accesses();
+        if n == 0 {
+            0.0
+        } else {
+            self.hits.get() as f64 / n as f64
+        }
+    }
+
+    /// Clears every counter.
+    pub fn reset(&mut self) {
+        *self = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::new();
+        c.add(u64::MAX);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn hit_rate_empty_is_zero() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_all() {
+        let mut s = CacheStats::default();
+        s.hits.add(3);
+        s.stall_cycles.add(100);
+        s.reset();
+        assert_eq!(s.accesses(), 0);
+        assert_eq!(s.stall_cycles.get(), 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Experiment driver: seeds workloads, runs each system end-to-end and
+//! verifies every result against the golden models before reporting.
+
+use crate::layout::{ConvLayerParams, Layout};
+use crate::programs::{offload, pulp, scalar};
+use crate::report::RunReport;
+use crate::soc::{ArcaneSoc, BaselineSoc};
+use arcane_core::ArcaneConfig;
+use arcane_mem::Memory;
+use arcane_sim::PhaseBreakdown;
+use arcane_workloads::{conv_layer_3ch, conv_layer_3ch_cpu, random_matrix, rng, Matrix};
+
+/// Simulation fuel: enough for the largest scalar workload.
+const FUEL: u64 = 4_000_000_000;
+
+/// Value range of the generated operands (small values keep the int8
+/// baselines numerically interesting without everything saturating).
+const RANGE: i64 = 4;
+
+fn seed_of(p: &ConvLayerParams) -> u64 {
+    (p.h as u64) << 40 | (p.w as u64) << 20 | (p.k as u64) << 4 | p.sew.bytes() as u64
+}
+
+/// Generates the input planes and filter for a workload (deterministic
+/// in the parameters).
+pub fn conv_workload(p: &ConvLayerParams) -> (Matrix, Matrix) {
+    let mut r = rng(seed_of(p));
+    let a = random_matrix(&mut r, 3 * p.h, p.w, p.sew, RANGE);
+    let f = random_matrix(&mut r, 3 * p.k, p.k, p.sew, RANGE);
+    (a, f)
+}
+
+fn read_result(bytes: &[u8], p: &ConvLayerParams) -> Matrix {
+    Matrix::from_bytes(p.pooled_h(), p.pooled_w(), p.sew, bytes)
+}
+
+/// Runs the scalar RV32IM baseline (CV32E40X) and verifies the result.
+///
+/// # Panics
+///
+/// Panics if the simulated result differs from the golden model or the
+/// program faults.
+pub fn run_scalar_conv(p: &ConvLayerParams) -> RunReport {
+    run_cpu_baseline(p, false)
+}
+
+/// Runs the XCVPULP baseline (CV32E40PX) and verifies the result.
+///
+/// # Panics
+///
+/// Panics if the simulated result differs from the golden model or the
+/// program faults.
+pub fn run_xcvpulp_conv(p: &ConvLayerParams) -> RunReport {
+    run_cpu_baseline(p, true)
+}
+
+fn run_cpu_baseline(p: &ConvLayerParams, use_pulp: bool) -> RunReport {
+    let l = Layout::for_conv(p);
+    let cfg = ArcaneConfig::with_lanes(4); // cache geometry only
+    let mut soc = BaselineSoc::new(&cfg);
+    let (a, f) = conv_workload(p);
+    let a_bytes = a.to_bytes(p.sew);
+    let f_bytes = f.to_bytes(p.sew);
+    soc.llc_mut().ext_mut().write_bytes(l.a, &a_bytes).unwrap();
+    soc.llc_mut().ext_mut().write_bytes(l.f, &f_bytes).unwrap();
+    let program = if use_pulp {
+        let padded = pulp::pad_filter_bytes(p, &f_bytes);
+        soc.llc_mut()
+            .ext_mut()
+            .write_bytes(l.f_padded, &padded)
+            .unwrap();
+        pulp::conv_layer(p, &l)
+    } else {
+        scalar::conv_layer(p, &l)
+    };
+    soc.load_program(&program);
+    let run = soc.run(FUEL).expect("baseline program runs to completion");
+    assert_eq!(
+        run.stop,
+        arcane_rv32::StopReason::Break,
+        "baseline must finish (fuel?)"
+    );
+
+    // Verify against the CPU-semantics golden model.
+    soc.llc_mut().flush_all();
+    let mut out = vec![0u8; p.pooled_h() * p.pooled_w() * p.sew.bytes()];
+    soc.llc().ext().read_bytes(l.r, &mut out).unwrap();
+    let got = read_result(&out, p);
+    let want = conv_layer_3ch_cpu(&a, &f, p.sew);
+    assert_eq!(
+        got,
+        want,
+        "{} baseline result mismatch for {p:?}",
+        if use_pulp { "XCVPULP" } else { "scalar" }
+    );
+
+    RunReport {
+        label: if use_pulp {
+            "CV32E40PX (XCVPULP)".into()
+        } else {
+            "CV32E40X (RV32IM)".into()
+        },
+        cycles: run.cycles,
+        instret: run.instret,
+        phases: None,
+        hits: soc.llc().stats().hits.get(),
+        misses: soc.llc().stats().misses.get(),
+        stall_cycles: 0,
+        macs: p.macs(),
+    }
+}
+
+/// Runs the ARCANE system with `lanes`-lane VPUs and verifies the
+/// result. `instances` > 1 splits the layer across that many `xmk4`
+/// invocations (multi-instance mode, §V-C).
+///
+/// # Panics
+///
+/// Panics if the simulated result differs from the golden model or the
+/// host program faults (e.g. a rejected offload).
+pub fn run_arcane_conv(lanes: usize, p: &ConvLayerParams, instances: usize) -> RunReport {
+    run_arcane_conv_with(ArcaneConfig::with_lanes(lanes), p, instances)
+}
+
+/// [`run_arcane_conv`] with an explicit configuration — the entry point
+/// the ablation studies use (queue depth, DMA bandwidth, VPU count).
+///
+/// # Panics
+///
+/// Panics if the simulated result differs from the golden model or the
+/// host program faults.
+pub fn run_arcane_conv_with(
+    cfg: ArcaneConfig,
+    p: &ConvLayerParams,
+    instances: usize,
+) -> RunReport {
+    let lanes = cfg.vpu.lanes;
+    let l = Layout::for_conv(p);
+    let mut soc = ArcaneSoc::new(cfg);
+    let (a, f) = conv_workload(p);
+    soc.llc_mut()
+        .ext_mut()
+        .write_bytes(l.a, &a.to_bytes(p.sew))
+        .unwrap();
+    soc.llc_mut()
+        .ext_mut()
+        .write_bytes(l.f, &f.to_bytes(p.sew))
+        .unwrap();
+    soc.load_program(&offload::conv_layer(p, &l, instances));
+    let run = match soc.run(FUEL) {
+        Ok(run) => run,
+        Err(e) => panic!(
+            "ARCANE host faulted: {e} (kernel error: {:?})",
+            soc.llc().last_error()
+        ),
+    };
+    assert_eq!(run.stop, arcane_rv32::StopReason::Break);
+
+    let mut out = vec![0u8; p.pooled_h() * p.pooled_w() * p.sew.bytes()];
+    soc.llc().ext().read_bytes(l.r, &mut out).unwrap();
+    let got = read_result(&out, p);
+    let want = conv_layer_3ch(&a, &f, p.sew);
+    assert_eq!(got, want, "ARCANE result mismatch for {p:?} ({lanes} lanes)");
+
+    let llc = soc.llc();
+    let phases = llc
+        .records()
+        .iter()
+        .fold(PhaseBreakdown::default(), |acc, r| acc + r.phases);
+    let total = run.cycles.max(llc.completion_time());
+    let (hits, misses, stall_cycles) = (
+        llc.stats().hits.get(),
+        llc.stats().misses.get(),
+        llc.stats().stall_cycles.get(),
+    );
+    drop(llc);
+    RunReport {
+        label: if instances == 1 {
+            format!("ARCANE {lanes}-lane")
+        } else {
+            format!("ARCANE {lanes}-lane x{instances}")
+        },
+        cycles: total,
+        instret: run.instret,
+        phases: Some(phases),
+        hits,
+        misses,
+        stall_cycles,
+        macs: p.macs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arcane_sim::Sew;
+
+    #[test]
+    fn scalar_baseline_small() {
+        let p = ConvLayerParams::new(10, 10, 3, Sew::Word);
+        let r = run_scalar_conv(&p);
+        assert!(r.cycles > 0);
+        assert_eq!(r.macs, 8 * 8 * 27);
+    }
+
+    #[test]
+    fn pulp_baseline_small_all_widths() {
+        for sew in Sew::ALL {
+            let p = ConvLayerParams::new(10, 10, 3, sew);
+            let r = run_xcvpulp_conv(&p);
+            assert!(r.cycles > 0, "{sew}");
+        }
+    }
+
+    #[test]
+    fn pulp_faster_than_scalar_for_int8() {
+        let p = ConvLayerParams::new(16, 16, 3, Sew::Byte);
+        let s = run_scalar_conv(&p);
+        let v = run_xcvpulp_conv(&p);
+        assert!(
+            v.cycles < s.cycles,
+            "pulp {} vs scalar {}",
+            v.cycles,
+            s.cycles
+        );
+    }
+
+    #[test]
+    fn arcane_small_all_widths() {
+        for sew in Sew::ALL {
+            let p = ConvLayerParams::new(12, 12, 3, sew);
+            let r = run_arcane_conv(4, &p, 1);
+            assert!(r.phases.unwrap().total() > 0, "{sew}");
+        }
+    }
+
+    #[test]
+    fn arcane_multi_instance_matches_golden() {
+        let p = ConvLayerParams::new(20, 20, 3, Sew::Byte);
+        let r = run_arcane_conv(8, &p, 4);
+        assert!(r.cycles > 0);
+    }
+}

@@ -1,0 +1,17 @@
+//! Machine-code program builders for every evaluation workload.
+//!
+//! All three implementations of the 3-channel convolutional layer are
+//! emitted as real RV32 machine code and *executed* on the
+//! instruction-set simulator — the cycle counts in Figures 3/4 come
+//! from instruction-by-instruction simulation, not from formulas:
+//!
+//! * [`scalar::conv_layer`] — plain RV32IM (the CV32E40X baseline);
+//! * [`pulp::conv_layer`] — XCVPULP packed-SIMD with hardware loops and
+//!   post-increment accesses (the CV32E40PX baseline);
+//! * [`offload::conv_layer`] — the ARCANE host program: `xmr`
+//!   reservations + one (or several, in multi-instance mode) `xmk4`
+//!   offloads + a synchronising result read, exactly Listing 1.
+
+pub mod offload;
+pub mod pulp;
+pub mod scalar;

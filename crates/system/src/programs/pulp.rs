@@ -1,0 +1,123 @@
+//! The XCVPULP packed-SIMD conv-layer baseline (CV32E40PX).
+//!
+//! The inner product over the filter row runs on `pv.sdotsp` (4 int8 or
+//! 2 int16 MACs per cycle) with post-increment word loads and a
+//! hardware loop over the filter rows; the int32 variant uses scalar
+//! `cv.mac`. The filter is pre-padded row-wise to the dot-product chunk
+//! so partial chunks multiply against zeros (standard PULP practice).
+
+use super::scalar::{emit_pool_pass, shift_of, store_op};
+use crate::layout::{ConvLayerParams, Layout};
+use arcane_isa::asm::Asm;
+use arcane_isa::reg::*;
+use arcane_isa::xcvpulp::{PvOp, SimdWidth};
+use arcane_sim::Sew;
+
+/// Emits the fused layer using the XCVPULP extensions.
+pub fn conv_layer(p: &ConvLayerParams, l: &Layout) -> Asm {
+    let mut a = Asm::new();
+    let esz = p.sew.bytes() as i32;
+    let sh = shift_of(p.sew);
+    let st = store_op(p.sew);
+    let kp = p.padded_k();
+    // elements per 32-bit load and chunks per filter row
+    let per_load = 4 / p.sew.bytes();
+    let chunks = kp / per_load;
+    // body: (load, load, mac) per chunk + row-advance addi
+    let body_len = (3 * chunks + 1) as u8;
+    // input cursor advance to the next row after the chunks walked Kp
+    let row_adv = ((p.w as i32) - kp as i32) * esz;
+
+    a.li(S0, l.a as i32);
+    a.li(S1, l.f_padded as i32);
+    a.li(S2, l.temp as i32);
+    a.li(S5, p.w as i32);
+    a.li(S7, p.conv_h() as i32);
+    a.li(S8, p.conv_w() as i32);
+    // per-channel plane bases
+    let plane = (p.h * p.w) as i32 * esz;
+    a.li(S9, l.a as i32);
+    a.li(S10, l.a as i32 + plane);
+    a.li(S11, l.a as i32 + 2 * plane);
+
+    a.li(A0, 0); // y
+    let y_loop = a.bind_label();
+    a.li(A1, 0); // x
+    let x_loop = a.bind_label();
+    a.li(T0, 0); // acc
+    a.mv(T2, S1); // filter cursor walks all 3K padded rows
+    for plane_base in [S9, S10, S11] {
+        // t1 = plane + (y*W + x) * esz
+        a.mul(T1, A0, S5);
+        a.add(T1, T1, A1);
+        a.slli(T1, T1, sh);
+        a.add(T1, T1, plane_base);
+        // hardware loop over the K filter rows
+        a.cv_setupi(false, p.k as u16, body_len);
+        for _ in 0..chunks {
+            a.cv_lw_post(T4, T1, 4);
+            a.cv_lw_post(T5, T2, 4);
+            match p.sew {
+                Sew::Byte => {
+                    a.pv(PvOp::Sdotsp, SimdWidth::B, T0, T4, T5);
+                }
+                Sew::Half => {
+                    a.pv(PvOp::Sdotsp, SimdWidth::H, T0, T4, T5);
+                }
+                Sew::Word => {
+                    a.cv_mac(T0, T4, T5);
+                }
+            }
+        }
+        a.addi(T1, T1, row_adv);
+    }
+    // ReLU via the scalar DSP max.
+    a.cv_max(T0, T0, ZERO);
+    a.cv_store_post(st, T0, S2, esz);
+    a.addi(A1, A1, 1);
+    a.blt(A1, S8, x_loop);
+    a.addi(A0, A0, 1);
+    a.blt(A0, S7, y_loop);
+
+    emit_pool_pass(&mut a, p, l, true);
+    a.ebreak();
+    a
+}
+
+/// Pads the dense filter image (`3K` rows of `K` elements) into the
+/// chunked layout the kernel expects: `3K` rows of [`ConvLayerParams::padded_k`]
+/// elements, missing positions zero.
+pub fn pad_filter_bytes(p: &ConvLayerParams, dense: &[u8]) -> Vec<u8> {
+    let esz = p.sew.bytes();
+    let kp = p.padded_k();
+    let mut out = vec![0u8; 3 * p.k * kp * esz];
+    for row in 0..3 * p.k {
+        let src = row * p.k * esz;
+        let dst = row * kp * esz;
+        out[dst..dst + p.k * esz].copy_from_slice(&dense[src..src + p.k * esz]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_padding_zero_fills() {
+        let p = ConvLayerParams::new(8, 8, 3, Sew::Byte);
+        let dense: Vec<u8> = (1..=27).collect();
+        let padded = pad_filter_bytes(&p, &dense);
+        assert_eq!(padded.len(), 9 * 4);
+        assert_eq!(&padded[0..4], &[1, 2, 3, 0]);
+        assert_eq!(&padded[4..8], &[4, 5, 6, 0]);
+    }
+
+    #[test]
+    fn word_filter_needs_no_padding() {
+        let p = ConvLayerParams::new(8, 8, 3, Sew::Word);
+        let dense: Vec<u8> = (0..27 * 4).map(|x| x as u8).collect();
+        let padded = pad_filter_bytes(&p, &dense);
+        assert_eq!(padded, dense);
+    }
+}

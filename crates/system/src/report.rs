@@ -1,0 +1,92 @@
+//! Run reports: the measurements every figure is built from.
+
+use arcane_sim::PhaseBreakdown;
+use arcane_sim::Sew;
+
+/// Outcome of one end-to-end workload run (result already verified
+/// against the golden model by the driver).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Configuration label (e.g. `"ARCANE 8-lane"`, `"CV32E40X"`).
+    pub label: String,
+    /// Total application cycles (program start → result available).
+    pub cycles: u64,
+    /// Host instructions retired.
+    pub instret: u64,
+    /// Kernel phase breakdown, summed across kernels (ARCANE only).
+    pub phases: Option<PhaseBreakdown>,
+    /// Host cache hits.
+    pub hits: u64,
+    /// Host cache misses.
+    pub misses: u64,
+    /// Host cycles lost to locks/hazards/busy lines (ARCANE only).
+    pub stall_cycles: u64,
+    /// Multiply-accumulate operations performed by the workload.
+    pub macs: u64,
+}
+
+impl RunReport {
+    /// Throughput in MACs per cycle.
+    pub fn macs_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.macs as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speedup of this run relative to `baseline`.
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            baseline.cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// GOPS at `freq_mhz`, counting one MAC as two operations.
+    pub fn gops(&self, freq_mhz: f64) -> f64 {
+        self.macs_per_cycle() * 2.0 * freq_mhz / 1e3
+    }
+}
+
+/// One point of the Figure 4 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvSweepPoint {
+    /// Input size (square images).
+    pub size: usize,
+    /// Filter size.
+    pub k: usize,
+    /// Element width.
+    pub sew: Sew,
+    /// Per-configuration reports in presentation order.
+    pub reports: Vec<RunReport>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rep(cycles: u64, macs: u64) -> RunReport {
+        RunReport {
+            label: "x".into(),
+            cycles,
+            instret: 0,
+            phases: None,
+            hits: 0,
+            misses: 0,
+            stall_cycles: 0,
+            macs,
+        }
+    }
+
+    #[test]
+    fn speedup_and_throughput() {
+        let base = rep(1000, 500);
+        let fast = rep(100, 500);
+        assert!((fast.speedup_over(&base) - 10.0).abs() < 1e-12);
+        assert!((fast.macs_per_cycle() - 5.0).abs() < 1e-12);
+        // 5 MAC/cycle at 250 MHz = 2.5 GOPS
+        assert!((fast.gops(250.0) - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,678 @@
+//! NM-Carus-style near-memory vector processing unit (VPU).
+//!
+//! In ARCANE the LLC data array is built from NM-Carus instances: each
+//! VPU owns 32 vector registers of 1 KiB, and those vector registers
+//! **are** the cache lines (the LLC has `n_vpus × 32` lines). In normal
+//! cache mode the controller reads and writes the lines; in compute mode
+//! the eCPU dispatches vector micro-programs that stream over them
+//! through an `N × 32-bit` lane datapath with sub-word SIMD — which is
+//! exactly why 8-bit workloads enjoy a 4× throughput advantage over
+//! 32-bit ones in the paper's Figure 4.
+//!
+//! [`Vpu::execute`] interprets a program of
+//! [`arcane_isa::vector::VInstr`] with wrapping two's-complement
+//! semantics and returns the datapath cycles from the lane-limited
+//! [`VpuTiming`] model. Results are bit-exact against the golden scalar
+//! models (property-tested).
+//!
+//! # Examples
+//!
+//! ```
+//! use arcane_isa::vector::{Sr, VInstr, VOp, Vr};
+//! use arcane_sim::Sew;
+//! use arcane_vpu::{Vpu, VpuConfig};
+//!
+//! let mut vpu = Vpu::new(VpuConfig::with_lanes(4));
+//! let v = |i| Vr::new(i).unwrap();
+//! vpu.line_mut(0)[..4].copy_from_slice(&[1, 2, 3, 4]);
+//! vpu.line_mut(1)[..4].copy_from_slice(&[10, 20, 30, 40]);
+//! let prog = [
+//!     VInstr::SetVl { vl: 4, sew: Sew::Byte },
+//!     VInstr::OpVV { op: VOp::Add, vd: v(2), vs1: v(0), vs2: v(1) },
+//! ];
+//! let stats = vpu.execute(&prog).unwrap();
+//! assert_eq!(&vpu.line(2)[..4], &[11, 22, 33, 44]);
+//! assert!(stats.cycles > 0);
+//! # let _ = Sr::new(0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use arcane_isa::vector::{Sr, VInstr, VOp, Vr};
+use arcane_sim::Sew;
+use std::error::Error;
+use std::fmt;
+
+/// Static configuration of one VPU instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VpuConfig {
+    /// Number of 32-bit lanes in the datapath (the paper evaluates
+    /// 2, 4 and 8).
+    pub lanes: usize,
+    /// Number of vector registers (= cache lines contributed to the LLC).
+    pub vregs: usize,
+    /// Bytes per vector register (= cache line size; 1 KiB in the paper).
+    pub vlen_bytes: usize,
+    /// Fixed pipeline overhead charged per vector instruction
+    /// (decode + first-fill of the lane pipeline).
+    pub op_overhead: u64,
+}
+
+impl VpuConfig {
+    /// The paper's VPU shape (32 × 1 KiB registers) with `lanes` lanes.
+    pub const fn with_lanes(lanes: usize) -> Self {
+        VpuConfig {
+            lanes,
+            vregs: 32,
+            vlen_bytes: 1024,
+            op_overhead: 2,
+        }
+    }
+
+    /// Capacity of the register file in bytes (= cache slice size).
+    pub const fn capacity_bytes(&self) -> usize {
+        self.vregs * self.vlen_bytes
+    }
+
+    /// Maximum vector length in elements for a given element width.
+    pub const fn max_vl(&self, sew: Sew) -> usize {
+        self.vlen_bytes / sew.bytes()
+    }
+
+    /// Datapath throughput in bytes per cycle (32-bit lanes).
+    pub const fn bytes_per_cycle(&self) -> u64 {
+        (self.lanes * 4) as u64
+    }
+}
+
+impl Default for VpuConfig {
+    fn default() -> Self {
+        VpuConfig::with_lanes(4)
+    }
+}
+
+/// Lane-limited cycle model helpers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VpuTiming {
+    cfg: VpuConfig,
+}
+
+impl VpuTiming {
+    /// Creates the timing view of a configuration.
+    pub const fn new(cfg: VpuConfig) -> Self {
+        VpuTiming { cfg }
+    }
+
+    /// Cycles for one element-wise pass over `vl` elements of width
+    /// `sew`: `op_overhead + ceil(vl · sew / (4 · lanes))`.
+    pub fn elementwise(&self, vl: usize, sew: Sew) -> u64 {
+        let bytes = (vl * sew.bytes()) as u64;
+        self.cfg.op_overhead + bytes.div_ceil(self.cfg.bytes_per_cycle()).max(1)
+    }
+
+    /// Cycles for a reduction: one element-wise pass plus a
+    /// log₂(lanes) combine tree.
+    pub fn reduction(&self, vl: usize, sew: Sew) -> u64 {
+        self.elementwise(vl, sew) + (self.cfg.lanes.max(2)).ilog2() as u64
+    }
+}
+
+/// Error raised by [`Vpu::execute`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VpuError {
+    /// `vsetvl` requested more elements than a vector register holds.
+    VlTooLarge {
+        /// Requested vector length.
+        vl: usize,
+        /// Maximum for the configured `vlen` and element width.
+        max: usize,
+    },
+    /// An instruction named a vector register beyond the configured file.
+    BadVreg {
+        /// The register index.
+        index: u8,
+    },
+}
+
+impl fmt::Display for VpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VpuError::VlTooLarge { vl, max } => {
+                write!(f, "vsetvl {vl} exceeds the register capacity of {max}")
+            }
+            VpuError::BadVreg { index } => write!(f, "vector register v{index} does not exist"),
+        }
+    }
+}
+
+impl Error for VpuError {}
+
+/// Execution statistics of one micro-program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Datapath cycles consumed.
+    pub cycles: u64,
+    /// Vector instructions retired.
+    pub instrs: u64,
+}
+
+/// One NM-Carus vector processing unit.
+///
+/// The byte array behind the vector registers is exposed line-by-line
+/// ([`Vpu::line`] / [`Vpu::line_mut`]) because in ARCANE those lines are
+/// simultaneously the cache data array: the controller services hits
+/// from them and the DMA fills them during kernel allocation.
+#[derive(Debug, Clone)]
+pub struct Vpu {
+    cfg: VpuConfig,
+    timing: VpuTiming,
+    data: Vec<u8>,
+    sregs: [u32; 32],
+    vl: usize,
+    sew: Sew,
+}
+
+impl Vpu {
+    /// Creates a VPU with zeroed registers.
+    pub fn new(cfg: VpuConfig) -> Self {
+        Vpu {
+            cfg,
+            timing: VpuTiming::new(cfg),
+            data: vec![0; cfg.capacity_bytes()],
+            sregs: [0; 32],
+            vl: cfg.max_vl(Sew::Word),
+            sew: Sew::Word,
+        }
+    }
+
+    /// The VPU configuration.
+    pub const fn config(&self) -> &VpuConfig {
+        &self.cfg
+    }
+
+    /// The timing model.
+    pub const fn timing(&self) -> &VpuTiming {
+        &self.timing
+    }
+
+    /// Read-only view of vector register / cache line `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn line(&self, idx: usize) -> &[u8] {
+        let vlen = self.cfg.vlen_bytes;
+        &self.data[idx * vlen..(idx + 1) * vlen]
+    }
+
+    /// Mutable view of vector register / cache line `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn line_mut(&mut self, idx: usize) -> &mut [u8] {
+        let vlen = self.cfg.vlen_bytes;
+        &mut self.data[idx * vlen..(idx + 1) * vlen]
+    }
+
+    /// Writes scalar register `rs` (the eCPU does this before dispatch).
+    pub fn set_sreg(&mut self, rs: Sr, value: u32) {
+        self.sregs[rs.index() as usize] = value;
+    }
+
+    /// Reads scalar register `rs`.
+    pub fn sreg(&self, rs: Sr) -> u32 {
+        self.sregs[rs.index() as usize]
+    }
+
+    /// Currently configured vector length in elements.
+    pub const fn vl(&self) -> usize {
+        self.vl
+    }
+
+    /// Currently configured element width.
+    pub const fn sew(&self) -> Sew {
+        self.sew
+    }
+
+    fn check_vreg(&self, v: Vr) -> Result<usize, VpuError> {
+        let i = v.index() as usize;
+        if i < self.cfg.vregs {
+            Ok(i)
+        } else {
+            Err(VpuError::BadVreg { index: v.index() })
+        }
+    }
+
+    /// Executes a vector micro-program and returns its statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VpuError`] on an over-long `vsetvl` or an out-of-range
+    /// register; partially executed programs leave their side effects
+    /// (as the hardware would).
+    pub fn execute(&mut self, prog: &[VInstr]) -> Result<ExecStats, VpuError> {
+        let mut stats = ExecStats::default();
+        for instr in prog {
+            stats.cycles += self.execute_one(instr)?;
+            stats.instrs += 1;
+        }
+        Ok(stats)
+    }
+
+    /// Executes a single vector instruction, returning its cycles.
+    ///
+    /// # Errors
+    ///
+    /// See [`Vpu::execute`].
+    pub fn execute_one(&mut self, instr: &VInstr) -> Result<u64, VpuError> {
+        match *instr {
+            VInstr::SetVl { vl, sew } => {
+                let max = self.cfg.max_vl(sew);
+                if vl as usize > max {
+                    return Err(VpuError::VlTooLarge {
+                        vl: vl as usize,
+                        max,
+                    });
+                }
+                self.vl = vl as usize;
+                self.sew = sew;
+                Ok(1)
+            }
+            VInstr::OpVV { op, vd, vs1, vs2 } => {
+                let d = self.check_vreg(vd)?;
+                let a = self.check_vreg(vs1)?;
+                let b = self.check_vreg(vs2)?;
+                let src1 = self.read_elems(a);
+                let src2 = self.read_elems(b);
+                self.apply_op(op, d, &src1, &src2);
+                Ok(self.timing.elementwise(self.vl, self.sew))
+            }
+            VInstr::OpVX { op, vd, vs1, rs } => {
+                let d = self.check_vreg(vd)?;
+                let a = self.check_vreg(vs1)?;
+                let scalar = self.truncate(self.sregs[rs.index() as usize]);
+                let src1 = self.read_elems(a);
+                let src2 = vec![scalar; self.vl];
+                self.apply_op(op, d, &src1, &src2);
+                Ok(self.timing.elementwise(self.vl, self.sew))
+            }
+            VInstr::SlideDown { vd, vs1, offset } => {
+                let d = self.check_vreg(vd)?;
+                let a = self.check_vreg(vs1)?;
+                let src = self.read_elems_full(a);
+                let off = offset as usize;
+                let out: Vec<i64> = (0..self.vl)
+                    .map(|i| src.get(i + off).copied().unwrap_or(0))
+                    .collect();
+                self.write_elems(d, &out);
+                Ok(self.timing.elementwise(self.vl, self.sew))
+            }
+            VInstr::SlideUp { vd, vs1, offset } => {
+                let d = self.check_vreg(vd)?;
+                let a = self.check_vreg(vs1)?;
+                let src = self.read_elems(a);
+                let off = offset as usize;
+                let mut out = self.read_elems(d);
+                let n = self.vl.saturating_sub(off);
+                out[off..off + n].copy_from_slice(&src[..n]);
+                self.write_elems(d, &out);
+                Ok(self.timing.elementwise(self.vl, self.sew))
+            }
+            VInstr::BroadcastX { vd, rs } => {
+                let d = self.check_vreg(vd)?;
+                let scalar = self.truncate(self.sregs[rs.index() as usize]);
+                let out = vec![scalar; self.vl];
+                self.write_elems(d, &out);
+                Ok(self.timing.elementwise(self.vl, self.sew))
+            }
+            VInstr::Move { vd, vs1 } => {
+                let d = self.check_vreg(vd)?;
+                let a = self.check_vreg(vs1)?;
+                let src = self.read_elems(a);
+                self.write_elems(d, &src);
+                Ok(self.timing.elementwise(self.vl, self.sew))
+            }
+            VInstr::RedSum { vd, vs1 } => {
+                let d = self.check_vreg(vd)?;
+                let a = self.check_vreg(vs1)?;
+                let src = self.read_elems(a);
+                let sum = src
+                    .iter()
+                    .fold(0i64, |acc, &x| self.wrap(acc.wrapping_add(x)));
+                self.write_elem(d, 0, sum);
+                Ok(self.timing.reduction(self.vl, self.sew))
+            }
+            VInstr::RedMax { vd, vs1 } => {
+                let d = self.check_vreg(vd)?;
+                let a = self.check_vreg(vs1)?;
+                let src = self.read_elems(a);
+                let m = src.iter().copied().max().unwrap_or(self.type_min());
+                self.write_elem(d, 0, m);
+                Ok(self.timing.reduction(self.vl, self.sew))
+            }
+        }
+    }
+
+    fn apply_op(&mut self, op: VOp, d: usize, a: &[i64], b: &[i64]) {
+        let out: Vec<i64> = match op {
+            VOp::Add => a.iter().zip(b).map(|(x, y)| self.wrap(x + y)).collect(),
+            VOp::Sub => a.iter().zip(b).map(|(x, y)| self.wrap(x - y)).collect(),
+            VOp::Mul => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| self.wrap(x.wrapping_mul(*y)))
+                .collect(),
+            VOp::Macc => {
+                let acc = self.read_elems(d);
+                acc.iter()
+                    .zip(a.iter().zip(b))
+                    .map(|(c, (x, y))| self.wrap(c.wrapping_add(x.wrapping_mul(*y))))
+                    .collect()
+            }
+            VOp::Max => a.iter().zip(b).map(|(x, y)| *x.max(y)).collect(),
+            VOp::Min => a.iter().zip(b).map(|(x, y)| *x.min(y)).collect(),
+            VOp::Sll => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| self.wrap((*x as u64).wrapping_shl(*y as u32) as i64))
+                .collect(),
+            VOp::Srl => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| {
+                    let ux = (*x as u64) & self.mask();
+                    self.wrap((ux >> (*y as u32 % self.bits())) as i64)
+                })
+                .collect(),
+            VOp::Sra => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| self.wrap(x >> (*y as u32 % self.bits())))
+                .collect(),
+            VOp::And => a.iter().zip(b).map(|(x, y)| self.wrap(x & y)).collect(),
+            VOp::Or => a.iter().zip(b).map(|(x, y)| self.wrap(x | y)).collect(),
+            VOp::Xor => a.iter().zip(b).map(|(x, y)| self.wrap(x ^ y)).collect(),
+        };
+        self.write_elems(d, &out);
+    }
+
+    const fn bits(&self) -> u32 {
+        (self.sew.bytes() * 8) as u32
+    }
+
+    const fn mask(&self) -> u64 {
+        match self.sew {
+            Sew::Byte => 0xff,
+            Sew::Half => 0xffff,
+            Sew::Word => 0xffff_ffff,
+        }
+    }
+
+    fn type_min(&self) -> i64 {
+        match self.sew {
+            Sew::Byte => i8::MIN as i64,
+            Sew::Half => i16::MIN as i64,
+            Sew::Word => i32::MIN as i64,
+        }
+    }
+
+    /// Wraps an i64 into the signed range of the active element width.
+    fn wrap(&self, v: i64) -> i64 {
+        match self.sew {
+            Sew::Byte => v as i8 as i64,
+            Sew::Half => v as i16 as i64,
+            Sew::Word => v as i32 as i64,
+        }
+    }
+
+    fn truncate(&self, v: u32) -> i64 {
+        match self.sew {
+            Sew::Byte => v as u8 as i8 as i64,
+            Sew::Half => v as u16 as i16 as i64,
+            Sew::Word => v as i32 as i64,
+        }
+    }
+
+    fn read_elems(&self, line: usize) -> Vec<i64> {
+        self.read_n(line, self.vl)
+    }
+
+    /// Reads the whole register (used by slides so data beyond `vl+off`
+    /// is still reachable).
+    fn read_elems_full(&self, line: usize) -> Vec<i64> {
+        self.read_n(line, self.cfg.max_vl(self.sew))
+    }
+
+    fn read_n(&self, line: usize, n: usize) -> Vec<i64> {
+        let bytes = self.line(line);
+        (0..n)
+            .map(|i| {
+                let o = i * self.sew.bytes();
+                match self.sew {
+                    Sew::Byte => bytes[o] as i8 as i64,
+                    Sew::Half => i16::from_le_bytes([bytes[o], bytes[o + 1]]) as i64,
+                    Sew::Word => {
+                        i32::from_le_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]])
+                            as i64
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn write_elems(&mut self, line: usize, values: &[i64]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write_elem(line, i, v);
+        }
+    }
+
+    fn write_elem(&mut self, line: usize, i: usize, v: i64) {
+        let sew = self.sew;
+        let o = i * sew.bytes();
+        let bytes = self.line_mut(line);
+        match sew {
+            Sew::Byte => bytes[o] = v as u8,
+            Sew::Half => bytes[o..o + 2].copy_from_slice(&(v as i16).to_le_bytes()),
+            Sew::Word => bytes[o..o + 4].copy_from_slice(&(v as i32).to_le_bytes()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u8) -> Vr {
+        Vr::new(i).unwrap()
+    }
+
+    fn s(i: u8) -> Sr {
+        Sr::new(i).unwrap()
+    }
+
+    fn vpu() -> Vpu {
+        Vpu::new(VpuConfig::with_lanes(4))
+    }
+
+    fn set_words(vpu: &mut Vpu, line: usize, vals: &[i32]) {
+        for (i, &x) in vals.iter().enumerate() {
+            vpu.line_mut(line)[i * 4..i * 4 + 4].copy_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    fn get_words(vpu: &Vpu, line: usize, n: usize) -> Vec<i32> {
+        (0..n)
+            .map(|i| {
+                let b = &vpu.line(line)[i * 4..i * 4 + 4];
+                i32::from_le_bytes([b[0], b[1], b[2], b[3]])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn add_and_macc_word() {
+        let mut u = vpu();
+        set_words(&mut u, 0, &[1, -2, 3, i32::MAX]);
+        set_words(&mut u, 1, &[10, 20, -30, 1]);
+        set_words(&mut u, 2, &[100, 100, 100, 100]);
+        u.execute(&[
+            VInstr::SetVl { vl: 4, sew: Sew::Word },
+            VInstr::OpVV {
+                op: VOp::Macc,
+                vd: v(2),
+                vs1: v(0),
+                vs2: v(1),
+            },
+        ])
+        .unwrap();
+        assert_eq!(
+            get_words(&u, 2, 4),
+            vec![110, 60, 10, 100i32.wrapping_add(i32::MAX)]
+        );
+    }
+
+    #[test]
+    fn byte_arithmetic_wraps() {
+        let mut u = vpu();
+        u.line_mut(0)[..2].copy_from_slice(&[0x7f, 0x80]);
+        u.line_mut(1)[..2].copy_from_slice(&[1, 0xff]);
+        u.execute(&[
+            VInstr::SetVl { vl: 2, sew: Sew::Byte },
+            VInstr::OpVV {
+                op: VOp::Add,
+                vd: v(2),
+                vs1: v(0),
+                vs2: v(1),
+            },
+        ])
+        .unwrap();
+        assert_eq!(&u.line(2)[..2], &[0x80, 0x7f]); // 127+1=-128, -128+-1=127
+    }
+
+    #[test]
+    fn scalar_broadcast_and_vx_ops() {
+        let mut u = vpu();
+        set_words(&mut u, 0, &[5, -5, 0, 2]);
+        u.set_sreg(s(3), 3);
+        u.execute(&[
+            VInstr::SetVl { vl: 4, sew: Sew::Word },
+            VInstr::OpVX {
+                op: VOp::Mul,
+                vd: v(1),
+                vs1: v(0),
+                rs: s(3),
+            },
+            VInstr::BroadcastX { vd: v(2), rs: s(3) },
+        ])
+        .unwrap();
+        assert_eq!(get_words(&u, 1, 4), vec![15, -15, 0, 6]);
+        assert_eq!(get_words(&u, 2, 4), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn relu_via_max_vx() {
+        let mut u = vpu();
+        set_words(&mut u, 0, &[5, -5, 0, -1]);
+        u.set_sreg(s(0), 0);
+        u.execute(&[
+            VInstr::SetVl { vl: 4, sew: Sew::Word },
+            VInstr::OpVX {
+                op: VOp::Max,
+                vd: v(0),
+                vs1: v(0),
+                rs: s(0),
+            },
+        ])
+        .unwrap();
+        assert_eq!(get_words(&u, 0, 4), vec![5, 0, 0, 0]);
+    }
+
+    #[test]
+    fn slide_down_pulls_beyond_vl() {
+        let mut u = vpu();
+        set_words(&mut u, 0, &[1, 2, 3, 4, 5, 6]);
+        u.execute(&[
+            VInstr::SetVl { vl: 4, sew: Sew::Word },
+            VInstr::SlideDown {
+                vd: v(1),
+                vs1: v(0),
+                offset: 2,
+            },
+        ])
+        .unwrap();
+        // elements 2..6 visible: slide reads the full register
+        assert_eq!(get_words(&u, 1, 4), vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn slide_up_preserves_prefix() {
+        let mut u = vpu();
+        set_words(&mut u, 0, &[1, 2, 3, 4]);
+        set_words(&mut u, 1, &[9, 9, 9, 9]);
+        u.execute(&[
+            VInstr::SetVl { vl: 4, sew: Sew::Word },
+            VInstr::SlideUp {
+                vd: v(1),
+                vs1: v(0),
+                offset: 1,
+            },
+        ])
+        .unwrap();
+        assert_eq!(get_words(&u, 1, 4), vec![9, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reductions() {
+        let mut u = vpu();
+        set_words(&mut u, 0, &[1, -2, 30, 4]);
+        u.execute(&[
+            VInstr::SetVl { vl: 4, sew: Sew::Word },
+            VInstr::RedSum { vd: v(1), vs1: v(0) },
+            VInstr::RedMax { vd: v(2), vs1: v(0) },
+        ])
+        .unwrap();
+        assert_eq!(get_words(&u, 1, 1), vec![33]);
+        assert_eq!(get_words(&u, 2, 1), vec![30]);
+    }
+
+    #[test]
+    fn cycle_model_scales_with_lanes_and_sew() {
+        let cfg2 = VpuConfig::with_lanes(2);
+        let cfg8 = VpuConfig::with_lanes(8);
+        let t2 = VpuTiming::new(cfg2);
+        let t8 = VpuTiming::new(cfg8);
+        // 1024 int32 elements = 4096 bytes: 2 lanes -> 512 cycles, 8 -> 128.
+        assert_eq!(t2.elementwise(1024, Sew::Word), 2 + 512);
+        assert_eq!(t8.elementwise(1024, Sew::Word), 2 + 128);
+        // int8 is 4x faster for the same element count.
+        assert_eq!(t8.elementwise(1024, Sew::Byte), 2 + 32);
+    }
+
+    #[test]
+    fn setvl_rejects_oversize() {
+        let mut u = vpu();
+        let err = u
+            .execute(&[VInstr::SetVl {
+                vl: 2048,
+                sew: Sew::Word,
+            }])
+            .unwrap_err();
+        assert_eq!(err, VpuError::VlTooLarge { vl: 2048, max: 256 });
+        // int8 allows the full 1024
+        u.execute(&[VInstr::SetVl {
+            vl: 1024,
+            sew: Sew::Byte,
+        }])
+        .unwrap();
+    }
+
+    #[test]
+    fn lines_alias_vector_registers() {
+        let mut u = vpu();
+        u.line_mut(7)[0] = 42;
+        assert_eq!(u.line(7)[0], 42);
+        assert_eq!(u.config().capacity_bytes(), 32 * 1024);
+    }
+}

@@ -1,0 +1,47 @@
+//! # ARCANE — Adaptive RISC-V Cache Architecture for Near-memory Extensions
+//!
+//! A full-system Rust reproduction of the DAC 2025 paper: a last-level
+//! cache that doubles as a tightly-coupled near-memory matrix
+//! coprocessor, driven by the software-defined `xmnmc` RISC-V extension
+//! over a CV-X-IF offload interface.
+//!
+//! This facade crate re-exports every sub-crate:
+//!
+//! * [`isa`] — RV32IM / XCVPULP / `xmnmc` / vector encodings + assembler
+//! * [`sim`] — clock, phase accounting, statistics
+//! * [`mem`] — bus, memory models, 2-D DMA
+//! * [`rv32`] — the RV32IM(+XCVPULP) instruction-set simulator
+//! * [`vpu`] — the NM-Carus-style vector processing unit
+//! * [`core`] — **the ARCANE LLC**: cache controller, Address Table,
+//!   hazards, bridge, C-RT runtime and the kernel library
+//! * [`system`] — X-HEEP system assemblies, workload programs, driver
+//! * [`workloads`] — generators and golden reference kernels
+//! * [`area`] — 65 nm area / peak-throughput models (Table II, Fig. 2)
+//!
+//! # Quickstart
+//!
+//! ```
+//! use arcane::system::driver::{run_arcane_conv, run_scalar_conv};
+//! use arcane::system::ConvLayerParams;
+//! use arcane::sim::Sew;
+//!
+//! // A small 3-channel conv layer on int8 data.
+//! let p = ConvLayerParams::new(16, 16, 3, Sew::Byte);
+//! let scalar = run_scalar_conv(&p);          // CV32E40X baseline
+//! let arcane = run_arcane_conv(4, &p, 1);    // 4-lane ARCANE
+//! assert!(arcane.cycles > 0 && scalar.cycles > 0);
+//! println!("speedup: {:.1}x", arcane.speedup_over(&scalar));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use arcane_area as area;
+pub use arcane_core as core;
+pub use arcane_isa as isa;
+pub use arcane_mem as mem;
+pub use arcane_rv32 as rv32;
+pub use arcane_sim as sim;
+pub use arcane_system as system;
+pub use arcane_vpu as vpu;
+pub use arcane_workloads as workloads;

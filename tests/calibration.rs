@@ -1,0 +1,119 @@
+//! Calibration tests: the paper-shape bands from DESIGN.md §5.
+//!
+//! The fast tests assert orderings and crossovers at moderate sizes so
+//! they stay debug-build friendly; the full 256×256 anchors run with
+//! `cargo test --release -- --ignored`.
+
+use arcane::area::{peak_gops, AreaModel, BLADE, INTEL_CNC};
+use arcane::sim::{Phase, Sew};
+use arcane::system::driver::{run_arcane_conv, run_scalar_conv, run_xcvpulp_conv};
+use arcane::system::ConvLayerParams;
+
+#[test]
+fn ordering_arcane_beats_pulp_beats_scalar_at_64() {
+    let p = ConvLayerParams::new(64, 64, 3, Sew::Byte);
+    let s = run_scalar_conv(&p);
+    let v = run_xcvpulp_conv(&p);
+    let a8 = run_arcane_conv(8, &p, 1);
+    assert!(v.cycles < s.cycles, "XCVPULP beats scalar");
+    assert!(a8.cycles < v.cycles, "ARCANE beats XCVPULP at 64x64");
+    let sp = a8.speedup_over(&s);
+    assert!((10.0..60.0).contains(&sp), "ARCANE-8 64x64 int8: {sp:.1}x");
+}
+
+#[test]
+fn crossover_pulp_beats_arcane_at_tiny_inputs() {
+    // Paper: "CV32E40PX outperforms ARCANE at smaller input sizes".
+    let p = ConvLayerParams::new(16, 16, 3, Sew::Byte);
+    let s = run_scalar_conv(&p);
+    let v = run_xcvpulp_conv(&p);
+    let a8 = run_arcane_conv(8, &p, 1);
+    assert!(
+        v.speedup_over(&s) > a8.speedup_over(&s),
+        "XCVPULP {:.1}x vs ARCANE {:.1}x at 16x16",
+        v.speedup_over(&s),
+        a8.speedup_over(&s)
+    );
+}
+
+#[test]
+fn int8_beats_int32_on_arcane() {
+    // Sub-word SIMD: the paper's whole premise for 8-bit data.
+    let p8 = ConvLayerParams::new(64, 64, 3, Sew::Byte);
+    let p32 = ConvLayerParams::new(64, 64, 3, Sew::Word);
+    let a8 = run_arcane_conv(8, &p8, 1);
+    let a32 = run_arcane_conv(8, &p32, 1);
+    assert!(
+        (a8.macs_per_cycle() / a32.macs_per_cycle()) > 1.5,
+        "int8 {:.2} vs int32 {:.2} MAC/cycle",
+        a8.macs_per_cycle(),
+        a32.macs_per_cycle()
+    );
+}
+
+#[test]
+fn lane_scaling_is_monotonic() {
+    let p = ConvLayerParams::new(64, 64, 3, Sew::Byte);
+    let a2 = run_arcane_conv(2, &p, 1);
+    let a4 = run_arcane_conv(4, &p, 1);
+    let a8 = run_arcane_conv(8, &p, 1);
+    assert!(a2.cycles > a4.cycles && a4.cycles > a8.cycles);
+}
+
+#[test]
+fn preamble_dominates_small_inputs_and_vanishes_at_large() {
+    let small = run_arcane_conv(8, &ConvLayerParams::new(8, 8, 3, Sew::Word), 1);
+    let large = run_arcane_conv(8, &ConvLayerParams::new(64, 64, 3, Sew::Word), 1);
+    let ps = small.phases.unwrap().share(Phase::Preamble);
+    let pl = large.phases.unwrap().share(Phase::Preamble);
+    assert!(ps > 0.4, "preamble at 8x8: {:.0}%", 100.0 * ps);
+    assert!(pl < 0.12, "preamble at 64x64: {:.0}%", 100.0 * pl);
+}
+
+#[test]
+fn table2_overheads_within_band() {
+    let m = AreaModel::calibrated();
+    for (lanes, pct) in [(2usize, 21.7), (4, 28.3), (8, 41.3)] {
+        let got = m.overhead_percent(4, lanes);
+        assert!(
+            (got - pct).abs() < 2.5,
+            "{lanes} lanes: {got:.1}% vs paper {pct}%"
+        );
+    }
+}
+
+#[test]
+fn sec5c_throughput_anchors() {
+    let g = peak_gops(4, 8, 265.0);
+    assert!((g - 17.0).abs() < 0.05, "peak GOPS {g}");
+    assert!((g / BLADE.gops - 3.2).abs() < 0.1);
+    assert!((INTEL_CNC.gops / g - 1.47).abs() < 0.01);
+}
+
+/// The full 256×256 anchors of DESIGN.md §5. ~1 minute in release mode:
+/// `cargo test --release --test calibration -- --ignored`.
+#[test]
+#[ignore = "large workload: run with --release -- --ignored"]
+fn full_figure4_anchors() {
+    // 7x7 int8: the paper's 84x headline.
+    let p7 = ConvLayerParams::new(256, 256, 7, Sew::Byte);
+    let s7 = run_scalar_conv(&p7);
+    let v7 = run_xcvpulp_conv(&p7);
+    let a7 = run_arcane_conv(8, &p7, 1);
+    let m7 = run_arcane_conv(8, &p7, 4);
+    let sp7 = a7.speedup_over(&s7);
+    assert!((55.0..115.0).contains(&sp7), "7x7 int8 single: {sp7:.1}x");
+    let spm = m7.speedup_over(&s7);
+    assert!((90.0..220.0).contains(&spm), "7x7 int8 multi: {spm:.1}x");
+    assert!(spm > sp7, "multi-instance must gain");
+    let pv = v7.speedup_over(&s7);
+    assert!((4.0..10.0).contains(&pv), "XCVPULP 7x7: {pv:.1}x");
+
+    // 3x3 int8.
+    let p3 = ConvLayerParams::new(256, 256, 3, Sew::Byte);
+    let s3 = run_scalar_conv(&p3);
+    let a3 = run_arcane_conv(8, &p3, 1);
+    let sp3 = a3.speedup_over(&s3);
+    assert!((25.0..90.0).contains(&sp3), "3x3 int8: {sp3:.1}x");
+    assert!(sp7 > sp3, "larger filters amortise overheads better");
+}

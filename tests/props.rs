@@ -1,0 +1,319 @@
+//! Property-based tests on the core data structures and invariants.
+
+use arcane::core::cache::{CacheTable, ResourceChannel, Victim};
+use arcane::isa::rv32::{self, AluImmOp, AluOp, BranchOp, Instr, LoadOp, StoreOp};
+use arcane::isa::vector::{self, all_vops, Sr, VInstr, Vr};
+use arcane::isa::xmnmc::{self, XInstr};
+use arcane::isa::reg::Gpr;
+use arcane::mem::{Dma2d, DmaJob, Memory, Sram};
+use arcane::sim::Sew;
+use arcane::vpu::{Vpu, VpuConfig};
+use arcane::workloads;
+use proptest::prelude::*;
+
+fn gpr() -> impl Strategy<Value = Gpr> {
+    (0u8..32).prop_map(|i| Gpr::new(i).unwrap())
+}
+
+fn sew() -> impl Strategy<Value = Sew> {
+    prop_oneof![Just(Sew::Byte), Just(Sew::Half), Just(Sew::Word)]
+}
+
+fn rv32_instr() -> impl Strategy<Value = Instr> {
+    let imm12 = -2048i32..2048;
+    let branch_off = (-2048i32..2048).prop_map(|x| x * 2);
+    let jal_off = (-100_000i32..100_000).prop_map(|x| x * 2);
+    prop_oneof![
+        (gpr(), any::<u32>()).prop_map(|(rd, v)| Instr::Lui { rd, imm: v & 0xffff_f000 }),
+        (gpr(), any::<u32>()).prop_map(|(rd, v)| Instr::Auipc { rd, imm: v & 0xffff_f000 }),
+        (gpr(), jal_off).prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
+        (gpr(), gpr(), imm12.clone()).prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
+        (
+            prop_oneof![
+                Just(BranchOp::Eq),
+                Just(BranchOp::Ne),
+                Just(BranchOp::Lt),
+                Just(BranchOp::Ge),
+                Just(BranchOp::Ltu),
+                Just(BranchOp::Geu)
+            ],
+            gpr(),
+            gpr(),
+            branch_off
+        )
+            .prop_map(|(op, rs1, rs2, offset)| Instr::Branch { op, rs1, rs2, offset }),
+        (
+            prop_oneof![
+                Just(LoadOp::Lb),
+                Just(LoadOp::Lh),
+                Just(LoadOp::Lw),
+                Just(LoadOp::Lbu),
+                Just(LoadOp::Lhu)
+            ],
+            gpr(),
+            gpr(),
+            imm12.clone()
+        )
+            .prop_map(|(op, rd, rs1, offset)| Instr::Load { op, rd, rs1, offset }),
+        (
+            prop_oneof![Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw)],
+            gpr(),
+            gpr(),
+            imm12.clone()
+        )
+            .prop_map(|(op, rs2, rs1, offset)| Instr::Store { op, rs2, rs1, offset }),
+        (
+            prop_oneof![
+                Just(AluImmOp::Addi),
+                Just(AluImmOp::Slti),
+                Just(AluImmOp::Sltiu),
+                Just(AluImmOp::Xori),
+                Just(AluImmOp::Ori),
+                Just(AluImmOp::Andi)
+            ],
+            gpr(),
+            gpr(),
+            imm12
+        )
+            .prop_map(|(op, rd, rs1, imm)| Instr::OpImm { op, rd, rs1, imm }),
+        (
+            prop_oneof![Just(AluImmOp::Slli), Just(AluImmOp::Srli), Just(AluImmOp::Srai)],
+            gpr(),
+            gpr(),
+            0i32..32
+        )
+            .prop_map(|(op, rd, rs1, imm)| Instr::OpImm { op, rd, rs1, imm }),
+        (
+            prop_oneof![
+                Just(AluOp::Add),
+                Just(AluOp::Sub),
+                Just(AluOp::Sll),
+                Just(AluOp::Slt),
+                Just(AluOp::Sltu),
+                Just(AluOp::Xor),
+                Just(AluOp::Srl),
+                Just(AluOp::Sra),
+                Just(AluOp::Or),
+                Just(AluOp::And),
+                Just(AluOp::Mul),
+                Just(AluOp::Mulh),
+                Just(AluOp::Mulhsu),
+                Just(AluOp::Mulhu),
+                Just(AluOp::Div),
+                Just(AluOp::Divu),
+                Just(AluOp::Rem),
+                Just(AluOp::Remu)
+            ],
+            gpr(),
+            gpr(),
+            gpr()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn rv32_encode_decode_roundtrip(instr in rv32_instr()) {
+        let word = rv32::encode(&instr);
+        prop_assert_eq!(rv32::decode(word).unwrap(), instr);
+    }
+
+    #[test]
+    fn xmnmc_encode_decode_roundtrip(
+        func5 in 0u8..32,
+        sew in sew(),
+        rs1 in gpr(),
+        rs2 in gpr(),
+        rs3 in gpr(),
+    ) {
+        let x = XInstr { func5, width: sew, rs1, rs2, rs3 };
+        let word = xmnmc::encode_raw(&x);
+        prop_assert_eq!(xmnmc::decode_raw(word).unwrap(), x);
+    }
+
+    #[test]
+    fn vector_encode_decode_roundtrip(
+        class in 0usize..9,
+        op_idx in 0usize..12,
+        vd in 0u8..32,
+        vs1 in 0u8..32,
+        b in 0u8..32,
+        imm in 0u16..1024,
+        sew in sew(),
+    ) {
+        let vd = Vr::new(vd).unwrap();
+        let vs1 = Vr::new(vs1).unwrap();
+        let vs2 = Vr::new(b).unwrap();
+        let rs = Sr::new(b).unwrap();
+        let op = all_vops()[op_idx];
+        let v = match class {
+            0 => VInstr::SetVl { vl: imm, sew },
+            1 => VInstr::OpVV { op, vd, vs1, vs2 },
+            2 => VInstr::OpVX { op, vd, vs1, rs },
+            3 => VInstr::SlideDown { vd, vs1, offset: imm },
+            4 => VInstr::SlideUp { vd, vs1, offset: imm },
+            5 => VInstr::BroadcastX { vd, rs },
+            6 => VInstr::Move { vd, vs1 },
+            7 => VInstr::RedSum { vd, vs1 },
+            _ => VInstr::RedMax { vd, vs1 },
+        };
+        let word = vector::encode(&v);
+        prop_assert_eq!(vector::decode(word).unwrap(), v);
+    }
+
+    #[test]
+    fn dma_2d_equals_reference_copy(
+        rows in 1u32..8,
+        cols in 1u32..16,
+        elem in prop_oneof![Just(1u32), Just(2), Just(4)],
+        src_pad in 0u32..8,
+        dst_pad in 0u32..8,
+    ) {
+        let row_bytes = cols * elem;
+        let src_stride = row_bytes + src_pad;
+        let dst_stride = row_bytes + dst_pad;
+        let src_size = (src_stride * rows + 64) as usize;
+        let dst_size = (dst_stride * rows + 64) as usize;
+        let mut src = Sram::new(0, src_size);
+        for i in 0..src_size {
+            src.write_bytes(i as u32, &[(i * 37 + 11) as u8]).unwrap();
+        }
+        let mut dst = Sram::new(0x10_0000, dst_size);
+        let job = DmaJob {
+            src: 0,
+            dst: 0x10_0000,
+            elem_bytes: elem,
+            cols,
+            rows,
+            src_stride,
+            dst_stride,
+        };
+        Dma2d::default().execute(&job, &src, &mut dst).unwrap();
+        // Reference: row-by-row copy.
+        for r in 0..rows {
+            let mut want = vec![0u8; row_bytes as usize];
+            src.read_bytes(r * src_stride, &mut want).unwrap();
+            let mut got = vec![0u8; row_bytes as usize];
+            dst.read_bytes(0x10_0000 + r * dst_stride, &mut got).unwrap();
+            prop_assert_eq!(got, want, "row {}", r);
+        }
+    }
+
+    #[test]
+    fn vpu_elementwise_matches_golden_semantics(
+        sew in sew(),
+        op_idx in 0usize..6,
+        data_a in prop::collection::vec(-128i64..128, 1..32),
+        data_b in prop::collection::vec(-128i64..128, 1..32),
+    ) {
+        use arcane::isa::vector::VOp;
+        let n = data_a.len().min(data_b.len());
+        let ops = [VOp::Add, VOp::Sub, VOp::Mul, VOp::Macc, VOp::Max, VOp::Min];
+        let op = ops[op_idx];
+        let mut vpu = Vpu::new(VpuConfig::with_lanes(4));
+        let a = workloads::Matrix::from_values(1, n, &data_a[..n]);
+        let b = workloads::Matrix::from_values(1, n, &data_b[..n]);
+        vpu.line_mut(0)[..n * sew.bytes()].copy_from_slice(&a.to_bytes(sew));
+        vpu.line_mut(1)[..n * sew.bytes()].copy_from_slice(&b.to_bytes(sew));
+        vpu.line_mut(2).fill(0);
+        let v = |i| Vr::new(i).unwrap();
+        vpu.execute(&[
+            VInstr::SetVl { vl: n as u16, sew },
+            VInstr::OpVV { op, vd: v(2), vs1: v(0), vs2: v(1) },
+        ]).unwrap();
+        let got = workloads::Matrix::from_bytes(1, n, sew, vpu.line(2));
+        for i in 0..n {
+            let (x, y) = (workloads::wrap(data_a[i], sew), workloads::wrap(data_b[i], sew));
+            let want = match op {
+                VOp::Add => workloads::wrap(x + y, sew),
+                VOp::Sub => workloads::wrap(x - y, sew),
+                VOp::Mul => workloads::wrap(x.wrapping_mul(y), sew),
+                VOp::Macc => workloads::wrap(x.wrapping_mul(y), sew), // acc started at 0
+                VOp::Max => x.max(y),
+                VOp::Min => x.min(y),
+                _ => unreachable!(),
+            };
+            prop_assert_eq!(got.get(0, i), want, "op {:?} elem {}", op, i);
+        }
+    }
+
+    #[test]
+    fn cache_table_invariants_under_random_traffic(
+        addrs in prop::collection::vec(0u32..(64 * 1024), 1..200),
+        writes in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let mut t = CacheTable::new(16, 1024);
+        for (i, &addr) in addrs.iter().enumerate() {
+            let write = writes[i % writes.len()];
+            let line = match t.lookup(addr) {
+                Some(l) => l,
+                None => match t.victim(0) {
+                    Victim::Line(l) => {
+                        let tag = t.tag_of(addr);
+                        let s = t.line_mut(l);
+                        s.tag = tag;
+                        s.valid = true;
+                        s.dirty = false;
+                        l
+                    }
+                    Victim::AllBusyUntil(_) => unreachable!("no busy lines"),
+                },
+            };
+            if write {
+                t.line_mut(line).dirty = true;
+            }
+            t.touch(line);
+            prop_assert!(t.check_no_duplicate_tags());
+            // dirty implies valid
+            for j in 0..t.len() {
+                let l = t.line(j);
+                prop_assert!(!l.dirty || l.valid);
+            }
+        }
+    }
+
+    #[test]
+    fn resource_channel_windows_never_overlap(
+        reqs in prop::collection::vec((0u64..1000, 1u64..50), 1..60),
+    ) {
+        let mut chan = ResourceChannel::new();
+        let mut granted: Vec<(u64, u64)> = Vec::new();
+        for (earliest, dur) in reqs {
+            let (s, e) = chan.reserve(earliest, dur);
+            prop_assert!(s >= earliest);
+            prop_assert_eq!(e - s, dur);
+            granted.push((s, e));
+        }
+        granted.sort_unstable();
+        for w in granted.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "windows overlap: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn conv_layer_slices_compose_to_full(
+        h in 5usize..12,
+        w in 5usize..12,
+        seed in 0u64..1000,
+    ) {
+        let k = 3;
+        prop_assume!(h >= k && w >= k);
+        let conv_rows = (h - k + 1) & !1;
+        prop_assume!(conv_rows >= 4);
+        let mut rng = workloads::rng(seed);
+        let a = workloads::random_matrix(&mut rng, 3 * h, w, Sew::Byte, 4);
+        let f = workloads::random_matrix(&mut rng, 3 * k, k, Sew::Byte, 4);
+        let full = workloads::conv_layer_3ch(&a, &f, Sew::Byte);
+        let cut = (conv_rows / 2) & !1;
+        let top = workloads::conv_layer_3ch_slice(&a, &f, Sew::Byte, 0, cut);
+        let bot = workloads::conv_layer_3ch_slice(&a, &f, Sew::Byte, cut, conv_rows - cut);
+        for y in 0..full.rows() {
+            for x in 0..full.cols() {
+                let want = full.get(y, x);
+                let got = if y < cut / 2 { top.get(y, x) } else { bot.get(y - cut / 2, x) };
+                prop_assert_eq!(got, want, "({}, {})", y, x);
+            }
+        }
+    }
+}
