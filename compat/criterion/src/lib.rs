@@ -1,0 +1,143 @@
+//! Offline drop-in subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmarking
+//! crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the slice of criterion its benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a
+//! simple warmup + timed-batch loop that reports the mean wall-clock
+//! time per iteration; there is no statistical analysis, HTML report,
+//! or baseline comparison. That is enough for the paper-reproduction
+//! benches, whose primary output is the regenerated tables/figures
+//! they print before measuring.
+//!
+//! Set `ARCANE_BENCH_MS` (default `200`) to change the per-benchmark
+//! measurement budget in milliseconds.
+//!
+//! ```
+//! use criterion::{Criterion, black_box};
+//!
+//! let mut c = Criterion::default();
+//! c.bench_function("sum", |b| b.iter(|| (0..100u64).map(black_box).sum::<u64>()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement budget per benchmark.
+fn budget() -> Duration {
+    let ms = std::env::var("ARCANE_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200u64);
+    Duration::from_millis(ms)
+}
+
+/// The benchmark driver: registers and immediately runs benchmarks.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` once with a [`Bencher`], timing whatever the bencher's
+    /// `iter` closure does, and prints the mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        println!(
+            "bench {:<40} {:>12.3?}/iter ({} iterations)",
+            id, b.mean, b.iters
+        );
+        self
+    }
+}
+
+/// Times a closure; handed to [`Criterion::bench_function`] callbacks.
+#[derive(Debug)]
+pub struct Bencher {
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly for the measurement budget and
+    /// records the mean wall-clock duration of one call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warmup + calibration: find how many calls fit in ~10% of the
+        // budget, then measure in batches of that size.
+        let budget = budget();
+        let calib_deadline = Instant::now() + budget / 10;
+        let mut calib_iters = 0u64;
+        while Instant::now() < calib_deadline || calib_iters == 0 {
+            black_box(routine());
+            calib_iters += 1;
+        }
+
+        let deadline = Instant::now() + budget;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..calib_iters {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += calib_iters;
+        }
+        // Divide in u128 nanoseconds: casting `iters` to u32 would
+        // wrap for sub-ns routines under a large ARCANE_BENCH_MS.
+        self.mean = Duration::from_nanos((total.as_nanos() / u128::from(iters.max(1))) as u64);
+        self.iters = iters;
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the `main` that runs one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench` (and possibly filters);
+            // this minimal harness runs everything regardless.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("ARCANE_BENCH_MS", "10");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1u32 + 1));
+    }
+}

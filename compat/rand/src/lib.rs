@@ -1,0 +1,243 @@
+//! Offline drop-in subset of the [`rand`](https://crates.io/crates/rand)
+//! crate (0.9 API surface).
+//!
+//! The build environment for this repository has no access to
+//! crates.io, so the workspace vendors the *small* slice of `rand` it
+//! actually uses: a seedable small RNG ([`rngs::SmallRng`]) and
+//! [`Rng::random_range`] over primitive-integer ranges. The generator
+//! is `splitmix64` + `xoshiro256**` — statistically solid for test
+//! vectors and fully deterministic for a given seed, which is all the
+//! simulator needs (workload generation, property tests, traffic
+//! fuzzing).
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(42);
+//! let x: i64 = rng.random_range(-8..=8);
+//! assert!((-8..=8).contains(&x));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// A source of random `u64` words.
+pub trait RngCore {
+    /// Returns the next random 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// An RNG that can be constructed from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (via `splitmix64`
+    /// expansion, so nearby seeds give unrelated streams).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (half-open or
+    /// inclusive). Panics on an empty range, like upstream `rand`.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Samples a value from the full range of `T` (the
+    /// `StandardUniform` distribution in upstream `rand`).
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Samples a `bool` that is `true` with probability `p`.
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        // Compare against a 53-bit uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+/// Types samplable uniformly over their whole value range via
+/// [`Rng::random`].
+pub trait Standard {
+    /// Draws one full-range value.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// A type that can be sampled uniformly from an integer range.
+pub trait SampleUniform: Copy {
+    /// Samples uniformly from `[low, high]` (both inclusive).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// A range type usable with [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + One> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_inclusive(rng, self.start, self.end.minus_one())
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample empty range");
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// Helper for turning a half-open bound into an inclusive one.
+pub trait One {
+    /// Returns `self - 1`.
+    fn minus_one(self) -> Self;
+}
+
+macro_rules! impl_uniform {
+    ($($t:ty),*) => {$(
+        impl One for $t {
+            fn minus_one(self) -> Self {
+                self - 1
+            }
+        }
+
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as i128).wrapping_sub(low as i128) as u128 + 1;
+                // Rejection sampling over the top 2^128 % span values
+                // keeps the draw exactly uniform.
+                let zone = u128::MAX - (u128::MAX - span + 1) % span;
+                loop {
+                    let wide = (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
+                    if wide <= zone {
+                        return ((low as i128).wrapping_add((wide % span) as i128)) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Small, fast generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small-state deterministic generator (`xoshiro256**`).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 seed expansion, as recommended by the
+            // xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a: Vec<u32> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..16).map(|_| r.random_range(0u32..1000)).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..16).map(|_| r.random_range(0u32..1000)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = r.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&x));
+            let y = r.random_range(0usize..3);
+            assert!(y < 3);
+            let z = r.random_range(10u8..11);
+            assert_eq!(z, 10);
+        }
+    }
+
+    #[test]
+    fn covers_full_span() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[r.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

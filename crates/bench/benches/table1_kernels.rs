@@ -16,12 +16,36 @@ fn print_table1() {
     );
     arcane_bench::rule(78);
     let rows: [(u8, &str, &str); 6] = [
-        (FUNC5_XMR, "hi(&A) lo(&A) | stride md | cols rows", "Matrix reserve"),
-        (kernel_id::GEMM, "alpha beta   | ms3 md    | ms1 ms2", "GeMM"),
-        (kernel_id::LEAKY_RELU, "alpha -      | -   md    | ms1 -", "LeakyReLU"),
-        (kernel_id::MAXPOOL, "stride win   | -   md    | ms1 -", "Maxpooling"),
-        (kernel_id::CONV2D, "-      -     | -   md    | ms1 ms2", "2D Conv."),
-        (kernel_id::CONV_LAYER_3CH, "-      -     | -   md    | ms1 ms2", "3-ch. 2D Conv. Layer"),
+        (
+            FUNC5_XMR,
+            "hi(&A) lo(&A) | stride md | cols rows",
+            "Matrix reserve",
+        ),
+        (
+            kernel_id::GEMM,
+            "alpha beta   | ms3 md    | ms1 ms2",
+            "GeMM",
+        ),
+        (
+            kernel_id::LEAKY_RELU,
+            "alpha -      | -   md    | ms1 -",
+            "LeakyReLU",
+        ),
+        (
+            kernel_id::MAXPOOL,
+            "stride win   | -   md    | ms1 -",
+            "Maxpooling",
+        ),
+        (
+            kernel_id::CONV2D,
+            "-      -     | -   md    | ms1 ms2",
+            "2D Conv.",
+        ),
+        (
+            kernel_id::CONV_LAYER_3CH,
+            "-      -     | -   md    | ms1 ms2",
+            "3-ch. 2D Conv. Layer",
+        ),
     ];
     for (func5, sources, desc) in rows {
         let base = xmnmc::mnemonic(func5, Sew::Word);

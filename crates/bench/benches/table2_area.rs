@@ -36,10 +36,10 @@ fn print_table2() {
         "baseline"
     );
     arcane_bench::rule(86);
-    println!("paper:   ARCANE 2.88 / 3.03 / 3.34 mm^2 (+21.7% / +28.3% / +41.3%), X-HEEP 2.36 mm^2");
     println!(
-        "paper:   1996 / 2105 / 2318 kGE vs 1640 kGE baseline\n"
+        "paper:   ARCANE 2.88 / 3.03 / 3.34 mm^2 (+21.7% / +28.3% / +41.3%), X-HEEP 2.36 mm^2"
     );
+    println!("paper:   1996 / 2105 / 2318 kGE vs 1640 kGE baseline\n");
 }
 
 fn bench(c: &mut Criterion) {

@@ -181,8 +181,11 @@ mod tests {
     #[test]
     fn expired_entries_recycle() {
         let mut at = AddressTable::new(1);
-        at.register(entry(0, 16, OperandKind::Source, 100), 0).unwrap();
-        assert!(at.register(entry(32, 48, OperandKind::Source, 200), 50).is_err());
+        at.register(entry(0, 16, OperandKind::Source, 100), 0)
+            .unwrap();
+        assert!(at
+            .register(entry(32, 48, OperandKind::Source, 200), 50)
+            .is_err());
         // At t=100 the first entry lapsed and its slot is reusable.
         at.register(entry(32, 48, OperandKind::Source, 200), 100)
             .unwrap();

@@ -40,9 +40,7 @@ impl ResourceChannel {
             t = e; // collide: try right after this window
         }
         let win = (t, t + duration);
-        let pos = self
-            .windows
-            .partition_point(|&(s, _)| s <= win.0);
+        let pos = self.windows.partition_point(|&(s, _)| s <= win.0);
         self.windows.insert(pos, win);
         (win.0, win.1)
     }
@@ -113,7 +111,7 @@ mod tests {
         let mut c = ResourceChannel::new();
         c.reserve(0, 10); // [0, 10)
         c.reserve(50, 10); // [50, 60)
-        // A kernel simulated later but wanting cycle 12 slots into the gap.
+                           // A kernel simulated later but wanting cycle 12 slots into the gap.
         assert_eq!(c.reserve(12, 20), (12, 32));
         // And one that does not fit before 50 goes after 60.
         assert_eq!(c.reserve(12, 30), (60, 90));

@@ -285,9 +285,15 @@ mod tests {
         t.line_mut(0).tag = 0x1000;
         t.line_mut(1).valid = true;
         t.line_mut(1).tag = 0x2000;
-        let hits: Vec<usize> = t.lines_overlapping(0x13ff, 0x1401).map(|(i, _)| i).collect();
+        let hits: Vec<usize> = t
+            .lines_overlapping(0x13ff, 0x1401)
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(hits, vec![0]);
-        let hits: Vec<usize> = t.lines_overlapping(0x1000, 0x2400).map(|(i, _)| i).collect();
+        let hits: Vec<usize> = t
+            .lines_overlapping(0x1000, 0x2400)
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(hits, vec![0, 1]);
     }
 

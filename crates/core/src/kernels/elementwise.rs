@@ -113,8 +113,18 @@ impl Kernel for MatScale {
             ctx.load_rows(&a, row, n, 0)?;
             for r in 0..n {
                 ctx.exec(&[
-                    VInstr::OpVX { op: VOp::Mul, vd: vr(r), vs1: vr(r), rs: sr(2) },
-                    VInstr::OpVX { op: VOp::Sra, vd: vr(r), vs1: vr(r), rs: sr(3) },
+                    VInstr::OpVX {
+                        op: VOp::Mul,
+                        vd: vr(r),
+                        vs1: vr(r),
+                        rs: sr(2),
+                    },
+                    VInstr::OpVX {
+                        op: VOp::Sra,
+                        vd: vr(r),
+                        vs1: vr(r),
+                        rs: sr(3),
+                    },
                 ])?;
                 ctx.store_row(r, args.md.cols, sew, args.md.row_addr(row + r));
             }

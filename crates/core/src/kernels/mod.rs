@@ -88,9 +88,14 @@ impl fmt::Display for KernelError {
             }
             KernelError::ShapeMismatch { what } => write!(f, "operand shape mismatch: {what}"),
             KernelError::RowTooWide { cols, max } => {
-                write!(f, "matrix row of {cols} elements exceeds the {max}-element vector")
+                write!(
+                    f,
+                    "matrix row of {cols} elements exceeds the {max}-element vector"
+                )
             }
-            KernelError::WidthMismatch => f.write_str("operand width differs from instruction suffix"),
+            KernelError::WidthMismatch => {
+                f.write_str("operand width differs from instruction suffix")
+            }
             KernelError::Vpu(e) => write!(f, "vector unit fault: {e}"),
         }
     }
@@ -145,7 +150,9 @@ impl fmt::Debug for KernelLib {
             .enumerate()
             .filter_map(|(i, s)| s.as_ref().map(|k| (i, k.name())))
             .collect();
-        f.debug_struct("KernelLib").field("kernels", &names).finish()
+        f.debug_struct("KernelLib")
+            .field("kernels", &names)
+            .finish()
     }
 }
 
@@ -211,7 +218,10 @@ impl Default for KernelLib {
     }
 }
 
-pub(crate) fn require(view: Option<MatView>, reg_name: &'static str) -> Result<MatView, KernelError> {
+pub(crate) fn require(
+    view: Option<MatView>,
+    reg_name: &'static str,
+) -> Result<MatView, KernelError> {
     view.ok_or(KernelError::ShapeMismatch { what: reg_name })
 }
 

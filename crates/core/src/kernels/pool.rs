@@ -70,7 +70,10 @@ impl Kernel for MaxPool {
             // Allocate the `win` input rows of this output row.
             ctx.load_rows(&input, y * stride, win, 0)?;
             // Vertical reduction.
-            ctx.exec(&[VInstr::Move { vd: vmax, vs1: vr(0) }])?;
+            ctx.exec(&[VInstr::Move {
+                vd: vmax,
+                vs1: vr(0),
+            }])?;
             for r in 1..win {
                 ctx.exec(&[VInstr::OpVV {
                     op: VOp::Max,
@@ -97,14 +100,7 @@ impl Kernel for MaxPool {
                 ])?;
             }
             // Window maxima sit at every `stride`-th element.
-            ctx.store_row_strided(
-                win + 1,
-                0,
-                stride,
-                out.cols,
-                sew,
-                out.row_addr(y),
-            );
+            ctx.store_row_strided(win + 1, 0, stride, out.cols, sew, out.row_addr(y));
         }
         Ok(())
     }

@@ -61,11 +61,31 @@ impl Kernel for LeakyRelu {
                 let x = vr(r);
                 ctx.exec(&[
                     // tmp = min(x, 0) >> alpha  (negative part, scaled)
-                    VInstr::OpVX { op: VOp::Min, vd: tmp, vs1: x, rs: sr(0) },
-                    VInstr::OpVX { op: VOp::Sra, vd: tmp, vs1: tmp, rs: sr(1) },
+                    VInstr::OpVX {
+                        op: VOp::Min,
+                        vd: tmp,
+                        vs1: x,
+                        rs: sr(0),
+                    },
+                    VInstr::OpVX {
+                        op: VOp::Sra,
+                        vd: tmp,
+                        vs1: tmp,
+                        rs: sr(1),
+                    },
                     // x = max(x, 0) + tmp
-                    VInstr::OpVX { op: VOp::Max, vd: x, vs1: x, rs: sr(0) },
-                    VInstr::OpVV { op: VOp::Add, vd: x, vs1: x, vs2: tmp },
+                    VInstr::OpVX {
+                        op: VOp::Max,
+                        vd: x,
+                        vs1: x,
+                        rs: sr(0),
+                    },
+                    VInstr::OpVV {
+                        op: VOp::Add,
+                        vd: x,
+                        vs1: x,
+                        vs2: tmp,
+                    },
                 ])?;
                 ctx.store_row(r, out.cols, sew, out.row_addr(row + r));
             }

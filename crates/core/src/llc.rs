@@ -18,7 +18,9 @@
 //! destinations, all lines busy) stall until the corresponding phase
 //! completes — exactly the synchronisation the hardware enforces.
 
-use crate::cache::{AddressTable, AtEntry, CacheTable, LockWindows, OperandKind, ResourceChannel, Victim};
+use crate::cache::{
+    AddressTable, AtEntry, CacheTable, LockWindows, OperandKind, ResourceChannel, Victim,
+};
 use crate::config::ArcaneConfig;
 use crate::kernels::{KernelError, KernelLib, ResolvedArgs};
 use crate::runtime::ctx::KernelCtx;
@@ -85,7 +87,12 @@ impl ArcaneLlc {
             locks: LockWindows::new(),
             map: MatrixMap::new(),
             lib: KernelLib::builtin(),
-            ext: ExtMem::new(cfg.ext_base, cfg.ext_size, cfg.ext_first_word, cfg.ext_per_word),
+            ext: ExtMem::new(
+                cfg.ext_base,
+                cfg.ext_size,
+                cfg.ext_first_word,
+                cfg.ext_per_word,
+            ),
             dma: Dma2d::new(cfg.dma),
             queue_done: VecDeque::new(),
             ecpu_free_at: 0,

@@ -83,10 +83,8 @@ impl<'a> KernelCtx<'a> {
     ///
     /// Returns [`KernelError::Vpu`] if `vl` exceeds the register size.
     pub fn set_vl(&mut self, vl: usize, sew: Sew) -> Result<(), KernelError> {
-        let cycles = self.vpus[self.vpu_index].execute_one(&VInstr::SetVl {
-            vl: vl as u16,
-            sew,
-        })?;
+        let cycles =
+            self.vpus[self.vpu_index].execute_one(&VInstr::SetVl { vl: vl as u16, sew })?;
         self.ecpu_work(Phase::Compute, self.crt.vinstr_issue);
         self.charge(Phase::Compute, cycles);
         Ok(())
@@ -124,7 +122,9 @@ impl<'a> KernelCtx<'a> {
         match sew {
             Sew::Byte => line[o] as i8 as i64,
             Sew::Half => i16::from_le_bytes([line[o], line[o + 1]]) as i64,
-            Sew::Word => i32::from_le_bytes([line[o], line[o + 1], line[o + 2], line[o + 3]]) as i64,
+            Sew::Word => {
+                i32::from_le_bytes([line[o], line[o + 1], line[o + 2], line[o + 3]]) as i64
+            }
         }
     }
 
@@ -235,7 +235,10 @@ impl<'a> KernelCtx<'a> {
             dst_stride: vlen as u32,
         };
         let dma_cycles = self.dma.timing().cycles(&job)
-            + self.ext.burst_cycles(job.bytes()).saturating_sub(job.bytes().div_ceil(4));
+            + self
+                .ext
+                .burst_cycles(job.bytes())
+                .saturating_sub(job.bytes().div_ceil(4));
         let (_, dma_end) = self.dma_chan.reserve(self.t, dma_cycles);
 
         // Functional copy: external memory -> vector registers.
@@ -483,10 +486,7 @@ mod tests {
         assert_eq!(c.phases.compute, 0);
         // row 1 starts at element 16 (pitch = 2*8 = 16 words)
         let line = vpus[0].line(5);
-        assert_eq!(
-            i32::from_le_bytes([line[0], line[1], line[2], line[3]]),
-            16
-        );
+        assert_eq!(i32::from_le_bytes([line[0], line[1], line[2], line[3]]), 16);
         assert!(!locks.is_empty(), "allocation must hold the lock");
     }
 

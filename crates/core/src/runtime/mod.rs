@@ -1,6 +1,6 @@
 //! The C-RT: the lightweight runtime system executed by the eCPU
 //! (paper §IV-B). Its three modules — Kernel Decoder, Kernel Scheduler
-//! and Matrix Allocator — live in [`crate::llc`] (decode/schedule) and
+//! and Matrix Allocator — live in [`crate::ArcaneLlc`] (decode/schedule) and
 //! [`ctx`] (allocation services); [`map`] holds the logical matrix
 //! register file with hazard-resolving renaming.
 

@@ -25,7 +25,12 @@ impl StandardLlc {
         StandardLlc {
             table: CacheTable::new(cfg.n_lines(), cfg.line_bytes()),
             data: vec![0; cfg.capacity_bytes()],
-            ext: ExtMem::new(cfg.ext_base, cfg.ext_size, cfg.ext_first_word, cfg.ext_per_word),
+            ext: ExtMem::new(
+                cfg.ext_base,
+                cfg.ext_size,
+                cfg.ext_first_word,
+                cfg.ext_per_word,
+            ),
             line_bytes: cfg.line_bytes(),
             stats: CacheStats::default(),
         }
@@ -130,7 +135,13 @@ impl StandardLlc {
         let mut cycles = 0;
         let vb = value.to_le_bytes();
         for i in 0..size.bytes() {
-            let a = self.host_access(addr + i, write, vb[i as usize] as u32, AccessSize::Byte, now)?;
+            let a = self.host_access(
+                addr + i,
+                write,
+                vb[i as usize] as u32,
+                AccessSize::Byte,
+                now,
+            )?;
             data[i as usize] = a.data as u8;
             cycles += a.cycles;
         }
@@ -173,7 +184,9 @@ mod tests {
     fn read_after_write_hits() {
         let mut c = cache();
         let a = 0x2000_0100;
-        let w = c.host_access(a, true, 0xdead_beef, AccessSize::Word, 0).unwrap();
+        let w = c
+            .host_access(a, true, 0xdead_beef, AccessSize::Word, 0)
+            .unwrap();
         assert!(w.cycles > 1, "first touch misses");
         let r = c.host_access(a, false, 0, AccessSize::Word, 1).unwrap();
         assert_eq!(r.data, 0xdead_beef);
@@ -200,7 +213,8 @@ mod tests {
         let mut c = cache();
         let a = 0x2000_0200;
         c.host_access(a, true, 0x11, AccessSize::Byte, 0).unwrap();
-        c.host_access(a + 1, true, 0x22, AccessSize::Byte, 0).unwrap();
+        c.host_access(a + 1, true, 0x22, AccessSize::Byte, 0)
+            .unwrap();
         let r = c.host_access(a, false, 0, AccessSize::Half, 0).unwrap();
         assert_eq!(r.data, 0x2211);
     }

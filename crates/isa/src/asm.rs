@@ -382,7 +382,12 @@ impl Asm {
 
     /// `cv.lb`-style post-increment load of any width.
     pub fn cv_load_post(&mut self, op: LoadOp, rd: Gpr, rs1: Gpr, offset: i32) -> &mut Self {
-        self.raw(Instr::Pulp(PulpInstr::LoadPost { op, rd, rs1, offset }))
+        self.raw(Instr::Pulp(PulpInstr::LoadPost {
+            op,
+            rd,
+            rs1,
+            offset,
+        }))
     }
 
     /// Post-increment store of any width.
@@ -397,7 +402,13 @@ impl Asm {
 
     /// Packed-SIMD operation.
     pub fn pv(&mut self, op: PvOp, w: SimdWidth, rd: Gpr, rs1: Gpr, rs2: Gpr) -> &mut Self {
-        self.raw(Instr::Pulp(PulpInstr::Simd { op, w, rd, rs1, rs2 }))
+        self.raw(Instr::Pulp(PulpInstr::Simd {
+            op,
+            w,
+            rd,
+            rs1,
+            rs2,
+        }))
     }
 
     /// `cv.mac rd, rs1, rs2` — scalar multiply-accumulate.

@@ -179,8 +179,7 @@ pub fn decode(parcel: u16) -> Result<Instr, DecodeError> {
                 }
                 0b10 => {
                     // c.andi
-                    let imm =
-                        sign_extend((bits16(parcel, 12, 12) << 5) | bits16(parcel, 6, 2), 6);
+                    let imm = sign_extend((bits16(parcel, 12, 12) << 5) | bits16(parcel, 6, 2), 6);
                     Ok(Instr::OpImm {
                         op: AluImmOp::Andi,
                         rd,
@@ -324,10 +323,8 @@ pub fn compress(instr: &Instr) -> Option<u16> {
                 // c.addi (funct3 = 000, quadrant 01)
                 let u = imm as u32;
                 return Some(
-                    (((u >> 5 & 1) << 12)
-                        | ((rd.index() as u32) << 7)
-                        | ((u & 0x1f) << 2)
-                        | 0b01) as u16,
+                    (((u >> 5 & 1) << 12) | ((rd.index() as u32) << 7) | ((u & 0x1f) << 2) | 0b01)
+                        as u16,
                 );
             }
             if rs1.is_zero() && !rd.is_zero() && (-32..32).contains(&imm) {
@@ -364,9 +361,7 @@ pub fn compress(instr: &Instr) -> Option<u16> {
                 | ((rs2.index() as u32) << 2)
                 | 0b10) as u16,
         ),
-        Instr::Op { op, rd, rs1, rs2 }
-            if rd == rs1 && is_creg(rd) && is_creg(rs2) =>
-        {
+        Instr::Op { op, rd, rs1, rs2 } if rd == rs1 && is_creg(rd) && is_creg(rs2) => {
             let f2 = match op {
                 AluOp::Sub => 0b00,
                 AluOp::Xor => 0b01,
@@ -459,11 +454,11 @@ pub fn compress(instr: &Instr) -> Option<u16> {
         }
         Instr::Jalr { rd, rs1, offset: 0 } if !rs1.is_zero() => {
             if rd.is_zero() {
-                Some(((0b100 << 13) | ((rs1.index() as u32) << 7) | 0b10) as u16) // c.jr
+                Some(((0b100 << 13) | ((rs1.index() as u32) << 7) | 0b10) as u16)
+            // c.jr
             } else if rd == RA {
-                Some(
-                    ((0b100 << 13) | (1 << 12) | ((rs1.index() as u32) << 7) | 0b10) as u16,
-                ) // c.jalr
+                Some(((0b100 << 13) | (1 << 12) | ((rs1.index() as u32) << 7) | 0b10) as u16)
+            // c.jalr
             } else {
                 None
             }
@@ -497,20 +492,84 @@ mod tests {
     #[test]
     fn compress_decode_roundtrip() {
         let cases = [
-            Instr::OpImm { op: AluImmOp::Addi, rd: A0, rs1: A0, imm: -5 },
-            Instr::OpImm { op: AluImmOp::Addi, rd: T3, rs1: ZERO, imm: 31 },
-            Instr::Op { op: AluOp::Add, rd: A0, rs1: A0, rs2: A1 },
-            Instr::Op { op: AluOp::Sub, rd: S0, rs1: S0, rs2: A3 },
-            Instr::Op { op: AluOp::Xor, rd: A5, rs1: A5, rs2: S1 },
-            Instr::Op { op: AluOp::And, rd: A2, rs1: A2, rs2: A4 },
-            Instr::Load { op: LoadOp::Lw, rd: A0, rs1: S0, offset: 64 },
-            Instr::Store { op: StoreOp::Sw, rs2: A1, rs1: S1, offset: 124 },
-            Instr::Jal { rd: ZERO, offset: -100 },
-            Instr::Jal { rd: RA, offset: 2046 },
-            Instr::Branch { op: BranchOp::Eq, rs1: A0, rs2: ZERO, offset: -56 },
-            Instr::Branch { op: BranchOp::Ne, rs1: S1, rs2: ZERO, offset: 254 },
-            Instr::Jalr { rd: ZERO, rs1: RA, offset: 0 },
-            Instr::Jalr { rd: RA, rs1: A5, offset: 0 },
+            Instr::OpImm {
+                op: AluImmOp::Addi,
+                rd: A0,
+                rs1: A0,
+                imm: -5,
+            },
+            Instr::OpImm {
+                op: AluImmOp::Addi,
+                rd: T3,
+                rs1: ZERO,
+                imm: 31,
+            },
+            Instr::Op {
+                op: AluOp::Add,
+                rd: A0,
+                rs1: A0,
+                rs2: A1,
+            },
+            Instr::Op {
+                op: AluOp::Sub,
+                rd: S0,
+                rs1: S0,
+                rs2: A3,
+            },
+            Instr::Op {
+                op: AluOp::Xor,
+                rd: A5,
+                rs1: A5,
+                rs2: S1,
+            },
+            Instr::Op {
+                op: AluOp::And,
+                rd: A2,
+                rs1: A2,
+                rs2: A4,
+            },
+            Instr::Load {
+                op: LoadOp::Lw,
+                rd: A0,
+                rs1: S0,
+                offset: 64,
+            },
+            Instr::Store {
+                op: StoreOp::Sw,
+                rs2: A1,
+                rs1: S1,
+                offset: 124,
+            },
+            Instr::Jal {
+                rd: ZERO,
+                offset: -100,
+            },
+            Instr::Jal {
+                rd: RA,
+                offset: 2046,
+            },
+            Instr::Branch {
+                op: BranchOp::Eq,
+                rs1: A0,
+                rs2: ZERO,
+                offset: -56,
+            },
+            Instr::Branch {
+                op: BranchOp::Ne,
+                rs1: S1,
+                rs2: ZERO,
+                offset: 254,
+            },
+            Instr::Jalr {
+                rd: ZERO,
+                rs1: RA,
+                offset: 0,
+            },
+            Instr::Jalr {
+                rd: RA,
+                rs1: A5,
+                offset: 0,
+            },
             Instr::Ebreak,
         ];
         for i in cases {
@@ -530,13 +589,37 @@ mod tests {
     #[test]
     fn incompressible_forms_return_none() {
         // rd != rs1 on register ops
-        assert!(compress(&Instr::Op { op: AluOp::Sub, rd: A0, rs1: A1, rs2: A2 }).is_none());
+        assert!(compress(&Instr::Op {
+            op: AluOp::Sub,
+            rd: A0,
+            rs1: A1,
+            rs2: A2
+        })
+        .is_none());
         // large immediate
-        assert!(compress(&Instr::OpImm { op: AluImmOp::Addi, rd: A0, rs1: A0, imm: 100 }).is_none());
+        assert!(compress(&Instr::OpImm {
+            op: AluImmOp::Addi,
+            rd: A0,
+            rs1: A0,
+            imm: 100
+        })
+        .is_none());
         // word load outside the creg set
-        assert!(compress(&Instr::Load { op: LoadOp::Lw, rd: T6, rs1: T5, offset: 0 }).is_none());
+        assert!(compress(&Instr::Load {
+            op: LoadOp::Lw,
+            rd: T6,
+            rs1: T5,
+            offset: 0
+        })
+        .is_none());
         // misaligned offset
-        assert!(compress(&Instr::Load { op: LoadOp::Lw, rd: A0, rs1: S0, offset: 2 }).is_none());
+        assert!(compress(&Instr::Load {
+            op: LoadOp::Lw,
+            rd: A0,
+            rs1: S0,
+            offset: 2
+        })
+        .is_none());
     }
 
     #[test]

@@ -249,7 +249,13 @@ pub fn encode(instr: &PulpInstr) -> u32 {
                 | ((imm & 0x1f) << 7)
                 | opcode::CUSTOM0
         }
-        PulpInstr::Simd { op, w, rd, rs1, rs2 } => {
+        PulpInstr::Simd {
+            op,
+            w,
+            rd,
+            rs1,
+            rs2,
+        } => {
             let funct7 = (op.code() << 1)
                 | match w {
                     SimdWidth::B => 0,
@@ -364,9 +370,13 @@ pub fn decode(word: u32) -> Result<PulpInstr, DecodeError> {
                 0x42 => Ok(PulpInstr::MinS { rd, rs1, rs2 }),
                 0x43 => Ok(PulpInstr::Abs { rd, rs1 }),
                 f if f < 0x40 => {
-                    let w = if f & 1 == 0 { SimdWidth::B } else { SimdWidth::H };
-                    let pv = PvOp::from_code(f >> 1)
-                        .ok_or(DecodeError::new(word, "unknown pv op"))?;
+                    let w = if f & 1 == 0 {
+                        SimdWidth::B
+                    } else {
+                        SimdWidth::H
+                    };
+                    let pv =
+                        PvOp::from_code(f >> 1).ok_or(DecodeError::new(word, "unknown pv op"))?;
                     Ok(PulpInstr::Simd {
                         op: pv,
                         w,
@@ -408,7 +418,13 @@ impl fmt::Display for PulpInstr {
                 rs1,
                 offset,
             } => write!(f, "cv.{}post {rs2}, {offset}({rs1}!)", store_name(op)),
-            PulpInstr::Simd { op, w, rd, rs1, rs2 } => {
+            PulpInstr::Simd {
+                op,
+                w,
+                rd,
+                rs1,
+                rs2,
+            } => {
                 write!(f, "{}.{} {rd}, {rs1}, {rs2}", op.mnemonic(), w.suffix())
             }
             PulpInstr::Mac { rd, rs1, rs2 } => write!(f, "cv.mac {rd}, {rs1}, {rs2}"),

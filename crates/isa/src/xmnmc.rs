@@ -424,7 +424,10 @@ mod tests {
                 assert_eq!(id, kernel_id::GEMM);
                 assert_eq!(alpha, -3);
                 assert_eq!(beta, 7);
-                assert_eq!((md.index(), ms1.index(), ms2.index(), ms3.index()), (0, 1, 2, 4));
+                assert_eq!(
+                    (md.index(), ms1.index(), ms2.index(), ms3.index()),
+                    (0, 1, 2, 4)
+                );
             }
             other => panic!("{other:?}"),
         }

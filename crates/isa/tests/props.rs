@@ -30,10 +30,20 @@ fn store_op() -> impl Strategy<Value = StoreOp> {
 fn pulp_instr() -> impl Strategy<Value = PulpInstr> {
     let imm12 = -2048i32..2048;
     prop_oneof![
-        (load_op(), gpr(), gpr(), imm12.clone())
-            .prop_map(|(op, rd, rs1, offset)| PulpInstr::LoadPost { op, rd, rs1, offset }),
-        (store_op(), gpr(), gpr(), imm12)
-            .prop_map(|(op, rs2, rs1, offset)| PulpInstr::StorePost { op, rs2, rs1, offset }),
+        (load_op(), gpr(), gpr(), imm12.clone()).prop_map(|(op, rd, rs1, offset)| {
+            PulpInstr::LoadPost {
+                op,
+                rd,
+                rs1,
+                offset,
+            }
+        }),
+        (store_op(), gpr(), gpr(), imm12).prop_map(|(op, rs2, rs1, offset)| PulpInstr::StorePost {
+            op,
+            rs2,
+            rs1,
+            offset
+        }),
         (
             prop_oneof![
                 Just(PvOp::Add),
@@ -49,16 +59,30 @@ fn pulp_instr() -> impl Strategy<Value = PulpInstr> {
             gpr(),
             gpr()
         )
-            .prop_map(|(op, w, rd, rs1, rs2)| PulpInstr::Simd { op, w, rd, rs1, rs2 }),
+            .prop_map(|(op, w, rd, rs1, rs2)| PulpInstr::Simd {
+                op,
+                w,
+                rd,
+                rs1,
+                rs2
+            }),
         (gpr(), gpr(), gpr()).prop_map(|(rd, rs1, rs2)| PulpInstr::Mac { rd, rs1, rs2 }),
         (gpr(), gpr(), gpr()).prop_map(|(rd, rs1, rs2)| PulpInstr::MaxS { rd, rs1, rs2 }),
         (gpr(), gpr(), gpr()).prop_map(|(rd, rs1, rs2)| PulpInstr::MinS { rd, rs1, rs2 }),
         (gpr(), gpr()).prop_map(|(rd, rs1)| PulpInstr::Abs { rd, rs1 }),
         (any::<bool>(), 0u16..4096, 1u8..32).prop_map(|(loop_id, count, body_len)| {
-            PulpInstr::LoopSetupI { loop_id, count, body_len }
+            PulpInstr::LoopSetupI {
+                loop_id,
+                count,
+                body_len,
+            }
         }),
         (any::<bool>(), gpr(), 0u16..4096).prop_map(|(loop_id, count, body_len)| {
-            PulpInstr::LoopSetup { loop_id, count, body_len }
+            PulpInstr::LoopSetup {
+                loop_id,
+                count,
+                body_len,
+            }
         }),
     ]
 }

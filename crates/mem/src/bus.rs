@@ -66,7 +66,10 @@ impl fmt::Display for BusError {
         match self {
             BusError::OutOfRange { addr } => write!(f, "bus error: no device at {addr:#010x}"),
             BusError::Truncated { addr, len } => {
-                write!(f, "bus error: {len}-byte access at {addr:#010x} exceeds device")
+                write!(
+                    f,
+                    "bus error: {len}-byte access at {addr:#010x} exceeds device"
+                )
             }
         }
     }
@@ -93,8 +96,13 @@ pub trait Bus {
     /// # Errors
     ///
     /// Returns [`BusError`] when no device claims the address.
-    fn write(&mut self, addr: u32, value: u32, size: AccessSize, now: u64)
-        -> Result<Access, BusError>;
+    fn write(
+        &mut self,
+        addr: u32,
+        value: u32,
+        size: AccessSize,
+        now: u64,
+    ) -> Result<Access, BusError>;
 
     /// Fetches the 32-bit instruction word at `addr`.
     ///

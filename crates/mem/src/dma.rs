@@ -242,9 +242,7 @@ mod tests {
         let src = Sram::new(0, 8);
         let mut dst = Sram::new(0x40, 8);
         let job = DmaJob::linear(0, 0x40, 16);
-        assert!(Dma2d::default()
-            .execute(&job, &src, &mut dst)
-            .is_err());
+        assert!(Dma2d::default().execute(&job, &src, &mut dst).is_err());
     }
 
     #[test]

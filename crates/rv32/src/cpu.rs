@@ -308,7 +308,13 @@ impl Cpu {
             Instr::Ecall => stop = Some(StopReason::Ecall),
             Instr::Ebreak => stop = Some(StopReason::Break),
             Instr::Pulp(p) => cost = self.exec_pulp(bus, p)?,
-            Instr::Custom2 { raw, rs1, rs2, rs3, rd } => {
+            Instr::Custom2 {
+                raw,
+                rs1,
+                rs2,
+                rs3,
+                rd,
+            } => {
                 let response = xif.offload(
                     raw,
                     self.reg(rs1),
@@ -382,7 +388,13 @@ impl Cpu {
                 self.set_reg(rs1, addr.wrapping_add(offset as u32));
                 Ok(cost)
             }
-            PulpInstr::Simd { op, w, rd, rs1, rs2 } => {
+            PulpInstr::Simd {
+                op,
+                w,
+                rd,
+                rs1,
+                rs2,
+            } => {
                 let v = pv_exec(op, w, self.reg(rd), self.reg(rs1), self.reg(rs2));
                 self.set_reg(rd, v);
                 Ok(self.timing.simd)
@@ -593,8 +605,13 @@ impl Bus for SramBus {
         Ok(Access::new(u32::from_le_bytes(buf), 1))
     }
 
-    fn write(&mut self, addr: u32, value: u32, size: AccessSize, _now: u64)
-        -> Result<Access, BusError> {
+    fn write(
+        &mut self,
+        addr: u32,
+        value: u32,
+        size: AccessSize,
+        _now: u64,
+    ) -> Result<Access, BusError> {
         self.ram
             .write_bytes(addr, &value.to_le_bytes()[..size.bytes() as usize])?;
         Ok(Access::new(0, 1))

@@ -116,7 +116,10 @@ mod tests {
     fn half_ops() {
         let a = pack_h([100, -200]);
         let b = pack_h([-50, 300]);
-        assert_eq!(pv_exec(PvOp::Max, SimdWidth::H, 0, a, b), pack_h([100, 300]));
+        assert_eq!(
+            pv_exec(PvOp::Max, SimdWidth::H, 0, a, b),
+            pack_h([100, 300])
+        );
         // 100*-50 + -200*300 = -5000 - 60000 = -65000
         assert_eq!(pv_exec(PvOp::Dotsp, SimdWidth::H, 0, a, b) as i32, -65_000);
     }

@@ -46,9 +46,6 @@ mod tests {
 
     #[test]
     fn no_coprocessor_rejects() {
-        assert_eq!(
-            NoCoprocessor.offload(0x5b, 1, 2, 3, 0),
-            XifResponse::Reject
-        );
+        assert_eq!(NoCoprocessor.offload(0x5b, 1, 2, 3, 0), XifResponse::Reject);
     }
 }

@@ -129,11 +129,7 @@ pub fn run_arcane_conv(lanes: usize, p: &ConvLayerParams, instances: usize) -> R
 ///
 /// Panics if the simulated result differs from the golden model or the
 /// host program faults.
-pub fn run_arcane_conv_with(
-    cfg: ArcaneConfig,
-    p: &ConvLayerParams,
-    instances: usize,
-) -> RunReport {
+pub fn run_arcane_conv_with(cfg: ArcaneConfig, p: &ConvLayerParams, instances: usize) -> RunReport {
     let lanes = cfg.vpu.lanes;
     let l = Layout::for_conv(p);
     let mut soc = ArcaneSoc::new(cfg);
@@ -160,7 +156,10 @@ pub fn run_arcane_conv_with(
     soc.llc().ext().read_bytes(l.r, &mut out).unwrap();
     let got = read_result(&out, p);
     let want = conv_layer_3ch(&a, &f, p.sew);
-    assert_eq!(got, want, "ARCANE result mismatch for {p:?} ({lanes} lanes)");
+    assert_eq!(
+        got, want,
+        "ARCANE result mismatch for {p:?} ({lanes} lanes)"
+    );
 
     let llc = soc.llc();
     let phases = llc

@@ -33,9 +33,15 @@ pub fn conv_layer(p: &ConvLayerParams, l: &Layout, instances: usize) -> Asm {
     let esz = p.sew.bytes() as u32;
 
     // xmr m0, A (3H x W); xmr m1, F (3K x K)
-    emit_packed(&mut a, xmnmc::pack_xmr(l.a, 1, m(0), p.w as u16, (3 * p.h) as u16));
+    emit_packed(
+        &mut a,
+        xmnmc::pack_xmr(l.a, 1, m(0), p.w as u16, (3 * p.h) as u16),
+    );
     a.raw(xmnmc::xmr_instr(p.sew, A0, A1, A2));
-    emit_packed(&mut a, xmnmc::pack_xmr(l.f, 1, m(1), p.k as u16, (3 * p.k) as u16));
+    emit_packed(
+        &mut a,
+        xmnmc::pack_xmr(l.f, 1, m(1), p.k as u16, (3 * p.k) as u16),
+    );
     a.raw(xmnmc::xmr_instr(p.sew, A0, A1, A2));
 
     let slices = split_rows(p.conv_h_even(), instances);
@@ -59,7 +65,13 @@ pub fn conv_layer(p: &ConvLayerParams, l: &Layout, instances: usize) -> Asm {
             &mut a,
             xmnmc::pack_kernel(alpha, beta, md, m(0), m(1), m(0)),
         );
-        a.raw(xmnmc::xmk_instr(kernel_id::CONV_LAYER_3CH, p.sew, A0, A1, A2));
+        a.raw(xmnmc::xmk_instr(
+            kernel_id::CONV_LAYER_3CH,
+            p.sew,
+            A0,
+            A1,
+            A2,
+        ));
         sync_addrs.push(dest);
         y0 += rows;
     }

@@ -43,8 +43,13 @@ impl Bus for BusPort<'_> {
             .host_access(addr, false, 0, size, now)
     }
 
-    fn write(&mut self, addr: u32, value: u32, size: AccessSize, now: u64)
-        -> Result<Access, BusError> {
+    fn write(
+        &mut self,
+        addr: u32,
+        value: u32,
+        size: AccessSize,
+        now: u64,
+    ) -> Result<Access, BusError> {
         if (addr as usize) < IMEM_SIZE {
             let n = size.bytes() as usize;
             self.0
@@ -146,8 +151,13 @@ impl Bus for BaselineBus<'_> {
         self.llc.host_access(addr, false, 0, size, now)
     }
 
-    fn write(&mut self, addr: u32, value: u32, size: AccessSize, now: u64)
-        -> Result<Access, BusError> {
+    fn write(
+        &mut self,
+        addr: u32,
+        value: u32,
+        size: AccessSize,
+        now: u64,
+    ) -> Result<Access, BusError> {
         if (addr as usize) < IMEM_SIZE {
             let n = size.bytes() as usize;
             self.imem.write_bytes(addr, &value.to_le_bytes()[..n])?;

@@ -518,7 +518,10 @@ mod tests {
         set_words(&mut u, 1, &[10, 20, -30, 1]);
         set_words(&mut u, 2, &[100, 100, 100, 100]);
         u.execute(&[
-            VInstr::SetVl { vl: 4, sew: Sew::Word },
+            VInstr::SetVl {
+                vl: 4,
+                sew: Sew::Word,
+            },
             VInstr::OpVV {
                 op: VOp::Macc,
                 vd: v(2),
@@ -539,7 +542,10 @@ mod tests {
         u.line_mut(0)[..2].copy_from_slice(&[0x7f, 0x80]);
         u.line_mut(1)[..2].copy_from_slice(&[1, 0xff]);
         u.execute(&[
-            VInstr::SetVl { vl: 2, sew: Sew::Byte },
+            VInstr::SetVl {
+                vl: 2,
+                sew: Sew::Byte,
+            },
             VInstr::OpVV {
                 op: VOp::Add,
                 vd: v(2),
@@ -557,7 +563,10 @@ mod tests {
         set_words(&mut u, 0, &[5, -5, 0, 2]);
         u.set_sreg(s(3), 3);
         u.execute(&[
-            VInstr::SetVl { vl: 4, sew: Sew::Word },
+            VInstr::SetVl {
+                vl: 4,
+                sew: Sew::Word,
+            },
             VInstr::OpVX {
                 op: VOp::Mul,
                 vd: v(1),
@@ -577,7 +586,10 @@ mod tests {
         set_words(&mut u, 0, &[5, -5, 0, -1]);
         u.set_sreg(s(0), 0);
         u.execute(&[
-            VInstr::SetVl { vl: 4, sew: Sew::Word },
+            VInstr::SetVl {
+                vl: 4,
+                sew: Sew::Word,
+            },
             VInstr::OpVX {
                 op: VOp::Max,
                 vd: v(0),
@@ -594,7 +606,10 @@ mod tests {
         let mut u = vpu();
         set_words(&mut u, 0, &[1, 2, 3, 4, 5, 6]);
         u.execute(&[
-            VInstr::SetVl { vl: 4, sew: Sew::Word },
+            VInstr::SetVl {
+                vl: 4,
+                sew: Sew::Word,
+            },
             VInstr::SlideDown {
                 vd: v(1),
                 vs1: v(0),
@@ -612,7 +627,10 @@ mod tests {
         set_words(&mut u, 0, &[1, 2, 3, 4]);
         set_words(&mut u, 1, &[9, 9, 9, 9]);
         u.execute(&[
-            VInstr::SetVl { vl: 4, sew: Sew::Word },
+            VInstr::SetVl {
+                vl: 4,
+                sew: Sew::Word,
+            },
             VInstr::SlideUp {
                 vd: v(1),
                 vs1: v(0),
@@ -628,9 +646,18 @@ mod tests {
         let mut u = vpu();
         set_words(&mut u, 0, &[1, -2, 30, 4]);
         u.execute(&[
-            VInstr::SetVl { vl: 4, sew: Sew::Word },
-            VInstr::RedSum { vd: v(1), vs1: v(0) },
-            VInstr::RedMax { vd: v(2), vs1: v(0) },
+            VInstr::SetVl {
+                vl: 4,
+                sew: Sew::Word,
+            },
+            VInstr::RedSum {
+                vd: v(1),
+                vs1: v(0),
+            },
+            VInstr::RedMax {
+                vd: v(2),
+                vs1: v(0),
+            },
         ])
         .unwrap();
         assert_eq!(get_words(&u, 1, 1), vec![33]);

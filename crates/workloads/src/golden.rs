@@ -18,12 +18,18 @@ pub fn gemm(a: &Matrix, b: &Matrix, c: Option<&Matrix>, alpha: i64, beta: i64, s
         for j in 0..b.cols() {
             let mut acc = 0i64;
             for k in 0..a.cols() {
-                acc = wrap(acc.wrapping_add(wrap(a.get(i, k).wrapping_mul(b.get(k, j)), sew)), sew);
+                acc = wrap(
+                    acc.wrapping_add(wrap(a.get(i, k).wrapping_mul(b.get(k, j)), sew)),
+                    sew,
+                );
             }
             let mut v = wrap(acc.wrapping_mul(alpha), sew);
             if beta != 0 {
                 let c = c.expect("beta != 0 requires C");
-                v = wrap(v.wrapping_add(wrap(c.get(i, j).wrapping_mul(beta), sew)), sew);
+                v = wrap(
+                    v.wrapping_add(wrap(c.get(i, j).wrapping_mul(beta), sew)),
+                    sew,
+                );
             }
             r.set(i, j, v);
         }
@@ -122,7 +128,10 @@ pub fn conv_layer_3ch(a: &Matrix, f: &Matrix, sew: Sew) -> Matrix {
 ///
 /// Panics on inconsistent geometry or an odd/misaligned slice.
 pub fn conv_layer_3ch_slice(a: &Matrix, f: &Matrix, sew: Sew, y0: usize, n_rows: usize) -> Matrix {
-    assert!(y0.is_multiple_of(2) && n_rows.is_multiple_of(2), "slice must be even-aligned");
+    assert!(
+        y0.is_multiple_of(2) && n_rows.is_multiple_of(2),
+        "slice must be even-aligned"
+    );
     let conv = conv_sum_3ch(a, f, sew);
     conv_finish(&conv.row_slice(y0, n_rows), sew)
 }

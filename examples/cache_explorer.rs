@@ -6,10 +6,10 @@
 //! Run with: `cargo run --release --example cache_explorer`
 
 use arcane::core::{ArcaneConfig, ArcaneLlc};
-use arcane::mem::{AccessSize, Memory};
-use arcane::rv32::Coprocessor;
 use arcane::isa::reg::{A0, A1, A2};
 use arcane::isa::xmnmc::{self, kernel_id, MatReg, XInstr};
+use arcane::mem::{AccessSize, Memory};
+use arcane::rv32::Coprocessor;
 use arcane::sim::Sew;
 
 fn main() {
@@ -19,9 +19,16 @@ fn main() {
     // --- normal cache mode -------------------------------------------------
     println!("== normal cache mode ==");
     // Miss, then hit on the same line; then a streaming sweep that evicts.
-    let miss = llc.host_access(base, false, 0, AccessSize::Word, 0).unwrap();
-    let hit = llc.host_access(base + 4, false, 0, AccessSize::Word, 10).unwrap();
-    println!("first touch : {} cycles (line fill from PSRAM)", miss.cycles);
+    let miss = llc
+        .host_access(base, false, 0, AccessSize::Word, 0)
+        .unwrap();
+    let hit = llc
+        .host_access(base + 4, false, 0, AccessSize::Word, 10)
+        .unwrap();
+    println!(
+        "first touch : {} cycles (line fill from PSRAM)",
+        miss.cycles
+    );
     println!("second touch: {} cycle  (single-cycle hit)", hit.cycles);
     let mut t = 100u64;
     for i in 0..256u32 {
@@ -49,7 +56,13 @@ fn main() {
         llc.ext_mut().write_u32(a_addr + 0x8000 + i * 4, 1).unwrap();
     }
     let m = |i| MatReg::new(i).unwrap();
-    let x = |f| XInstr { func5: f, width: Sew::Word, rs1: A0, rs2: A1, rs3: A2 };
+    let x = |f| XInstr {
+        func5: f,
+        width: Sew::Word,
+        rs1: A0,
+        rs2: A1,
+        rs3: A2,
+    };
     let now = t;
     let (r1, r2, r3) = xmnmc::pack_xmr(a_addr, 1, m(0), 16, 48);
     llc.offload(xmnmc::encode_raw(&x(31)), r1, r2, r3, now);
@@ -79,7 +92,10 @@ fn main() {
     let ld = llc
         .host_access(a_addr + 4, false, 0, AccessSize::Word, now + 16)
         .unwrap();
-    println!("store to kernel source : {} cycles (WAR stall until allocation)", st.cycles);
+    println!(
+        "store to kernel source : {} cycles (WAR stall until allocation)",
+        st.cycles
+    );
     println!("load of kernel source  : {} cycles (loads pass)", ld.cycles);
 
     // RAW: reading the destination stalls until writeback completes and

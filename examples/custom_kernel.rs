@@ -60,8 +60,18 @@ impl Kernel for Axpy {
             ctx.load_rows(&x, r, 1, 0)?;
             ctx.load_rows(&y, r, 1, 1)?;
             ctx.exec(&[
-                VInstr::OpVX { op: VOp::Mul, vd: vx, vs1: vx, rs: alpha },
-                VInstr::OpVV { op: VOp::Add, vd: vx, vs1: vx, vs2: vy },
+                VInstr::OpVX {
+                    op: VOp::Mul,
+                    vd: vx,
+                    vs1: vx,
+                    rs: alpha,
+                },
+                VInstr::OpVV {
+                    op: VOp::Add,
+                    vd: vx,
+                    vs1: vx,
+                    vs2: vy,
+                },
             ])?;
             ctx.store_row(0, args.md.cols, sew, args.md.row_addr(r));
         }
@@ -79,8 +89,14 @@ fn main() {
 
     // 2. Seed X and Y.
     for i in 0..(rows * cols) as u32 {
-        soc.llc_mut().ext_mut().write_u32(x_addr + i * 4, i).unwrap();
-        soc.llc_mut().ext_mut().write_u32(y_addr + i * 4, 1000).unwrap();
+        soc.llc_mut()
+            .ext_mut()
+            .write_u32(x_addr + i * 4, i)
+            .unwrap();
+        soc.llc_mut()
+            .ext_mut()
+            .write_u32(y_addr + i * 4, 1000)
+            .unwrap();
     }
 
     // 3. Host program: reserve X, Y, R; launch the new xmk8.

@@ -18,7 +18,13 @@ use arcane::workloads::{self, Matrix};
 const BASE: u32 = 0x2000_0000;
 
 fn offload(llc: &mut ArcaneLlc, func5: u8, sew: Sew, vals: (u32, u32, u32), t: u64) {
-    let x = XInstr { func5, width: sew, rs1: A0, rs2: A1, rs3: A2 };
+    let x = XInstr {
+        func5,
+        width: sew,
+        rs1: A0,
+        rs2: A1,
+        rs3: A2,
+    };
     match llc.offload(xmnmc::encode_raw(&x), vals.0, vals.1, vals.2, t) {
         XifResponse::Accept { .. } => {}
         XifResponse::Reject => panic!("offload rejected: {:?}", llc.last_error()),
@@ -45,16 +51,48 @@ fn main() {
     };
 
     // m0 = X, m1 = W; m2 = Wt; m3 = H (all reservations are deferred).
-    go(&mut llc, FUNC5_XMR, xmnmc::pack_xmr(px, 1, m(0), d_in as u16, batch as u16));
-    go(&mut llc, FUNC5_XMR, xmnmc::pack_xmr(pw, 1, m(1), d_in as u16, d_out as u16));
-    go(&mut llc, FUNC5_XMR, xmnmc::pack_xmr(pwt, 1, m(2), d_out as u16, d_in as u16));
-    go(&mut llc, FUNC5_XMR, xmnmc::pack_xmr(ph, 1, m(3), d_out as u16, batch as u16));
+    go(
+        &mut llc,
+        FUNC5_XMR,
+        xmnmc::pack_xmr(px, 1, m(0), d_in as u16, batch as u16),
+    );
+    go(
+        &mut llc,
+        FUNC5_XMR,
+        xmnmc::pack_xmr(pw, 1, m(1), d_in as u16, d_out as u16),
+    );
+    go(
+        &mut llc,
+        FUNC5_XMR,
+        xmnmc::pack_xmr(pwt, 1, m(2), d_out as u16, d_in as u16),
+    );
+    go(
+        &mut llc,
+        FUNC5_XMR,
+        xmnmc::pack_xmr(ph, 1, m(3), d_out as u16, batch as u16),
+    );
 
     // Wt = transpose(W); H = X * Wt; H = (H * 1) >> 4; H = leaky_relu(H).
-    go(&mut llc, kernel_id::TRANSPOSE, xmnmc::pack_kernel(0, 0, m(2), m(1), m(0), m(0)));
-    go(&mut llc, kernel_id::GEMM, xmnmc::pack_kernel(1, 0, m(3), m(0), m(2), m(0)));
-    go(&mut llc, kernel_id::MAT_SCALE, xmnmc::pack_kernel(1, 4, m(3), m(3), m(0), m(0)));
-    go(&mut llc, kernel_id::LEAKY_RELU, xmnmc::pack_kernel(3, 0, m(3), m(3), m(0), m(0)));
+    go(
+        &mut llc,
+        kernel_id::TRANSPOSE,
+        xmnmc::pack_kernel(0, 0, m(2), m(1), m(0), m(0)),
+    );
+    go(
+        &mut llc,
+        kernel_id::GEMM,
+        xmnmc::pack_kernel(1, 0, m(3), m(0), m(2), m(0)),
+    );
+    go(
+        &mut llc,
+        kernel_id::MAT_SCALE,
+        xmnmc::pack_kernel(1, 4, m(3), m(3), m(0), m(0)),
+    );
+    go(
+        &mut llc,
+        kernel_id::LEAKY_RELU,
+        xmnmc::pack_kernel(3, 0, m(3), m(3), m(0), m(0)),
+    );
 
     // Golden pipeline.
     let wt = workloads::transpose(&w);

@@ -41,7 +41,10 @@ fn normal_mode_matches_baseline_cache_exactly() {
     }
     assert_eq!(smart.stats().hits.get(), base.stats().hits.get());
     assert_eq!(smart.stats().misses.get(), base.stats().misses.get());
-    assert_eq!(smart.stats().writebacks.get(), base.stats().writebacks.get());
+    assert_eq!(
+        smart.stats().writebacks.get(),
+        base.stats().writebacks.get()
+    );
     assert_eq!(smart.stats().stalls.get(), 0, "no stalls without kernels");
 }
 
@@ -49,7 +52,8 @@ fn normal_mode_matches_baseline_cache_exactly() {
 fn write_back_policy_defers_memory_updates() {
     let cfg = ArcaneConfig::with_lanes(4);
     let mut llc = ArcaneLlc::new(cfg);
-    llc.host_access(BASE, true, 1234, AccessSize::Word, 0).unwrap();
+    llc.host_access(BASE, true, 1234, AccessSize::Word, 0)
+        .unwrap();
     // Dirty data lives in the cache only...
     assert_ne!(
         {
@@ -75,8 +79,12 @@ fn write_back_policy_defers_memory_updates() {
 fn hit_is_single_cycle_miss_pays_bursts() {
     let cfg = ArcaneConfig::with_lanes(4);
     let mut llc = ArcaneLlc::new(cfg);
-    let miss = llc.host_access(BASE, false, 0, AccessSize::Word, 0).unwrap();
-    let hit = llc.host_access(BASE + 512, false, 0, AccessSize::Word, 50).unwrap();
+    let miss = llc
+        .host_access(BASE, false, 0, AccessSize::Word, 0)
+        .unwrap();
+    let hit = llc
+        .host_access(BASE + 512, false, 0, AccessSize::Word, 50)
+        .unwrap();
     assert_eq!(hit.cycles, 1, "hits are resolved in a single cycle");
     // Miss pays the 1 KiB line fill from the burst-modeled PSRAM.
     let line_fill = 10 + 255; // first_word + per_word * 255
@@ -89,12 +97,19 @@ fn line_crossing_misaligned_access_is_correct() {
     let mut llc = ArcaneLlc::new(cfg);
     // Write a word that straddles the 1 KiB line boundary.
     let addr = BASE + 1022;
-    llc.host_access(addr, true, 0xa1b2_c3d4, AccessSize::Word, 0).unwrap();
-    let r = llc.host_access(addr, false, 0, AccessSize::Word, 100).unwrap();
+    llc.host_access(addr, true, 0xa1b2_c3d4, AccessSize::Word, 0)
+        .unwrap();
+    let r = llc
+        .host_access(addr, false, 0, AccessSize::Word, 100)
+        .unwrap();
     assert_eq!(r.data, 0xa1b2_c3d4);
     // And the two halves landed on both sides of the boundary.
-    let lo = llc.host_access(BASE + 1022, false, 0, AccessSize::Half, 200).unwrap();
-    let hi = llc.host_access(BASE + 1024, false, 0, AccessSize::Half, 300).unwrap();
+    let lo = llc
+        .host_access(BASE + 1022, false, 0, AccessSize::Half, 200)
+        .unwrap();
+    let hi = llc
+        .host_access(BASE + 1024, false, 0, AccessSize::Half, 300)
+        .unwrap();
     assert_eq!(lo.data, 0xc3d4);
     assert_eq!(hi.data, 0xa1b2);
 }
@@ -103,8 +118,14 @@ fn line_crossing_misaligned_access_is_correct() {
 fn out_of_range_accesses_fault() {
     let cfg = ArcaneConfig::with_lanes(4);
     let mut llc = ArcaneLlc::new(cfg);
-    assert!(llc.host_access(0x1000, false, 0, AccessSize::Word, 0).is_err());
+    assert!(llc
+        .host_access(0x1000, false, 0, AccessSize::Word, 0)
+        .is_err());
     let end = cfg.ext_base + cfg.ext_size as u32;
-    assert!(llc.host_access(end - 2, false, 0, AccessSize::Word, 0).is_err());
-    assert!(llc.host_access(end - 4, false, 0, AccessSize::Word, 0).is_ok());
+    assert!(llc
+        .host_access(end - 2, false, 0, AccessSize::Word, 0)
+        .is_err());
+    assert!(llc
+        .host_access(end - 4, false, 0, AccessSize::Word, 0)
+        .is_ok());
 }

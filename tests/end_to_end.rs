@@ -26,7 +26,10 @@ impl Rig {
     }
 
     fn write(&mut self, addr: u32, m: &Matrix, sew: Sew) {
-        self.llc.ext_mut().write_bytes(addr, &m.to_bytes(sew)).unwrap();
+        self.llc
+            .ext_mut()
+            .write_bytes(addr, &m.to_bytes(sew))
+            .unwrap();
     }
 
     fn read(&self, addr: u32, rows: usize, cols: usize, sew: Sew) -> Matrix {
@@ -38,8 +41,16 @@ impl Rig {
     fn xmr(&mut self, reg: u8, addr: u32, rows: usize, cols: usize, sew: Sew) {
         let m = MatReg::new(reg).unwrap();
         let (r1, r2, r3) = xmnmc::pack_xmr(addr, 1, m, cols as u16, rows as u16);
-        let x = XInstr { func5: FUNC5_XMR, width: sew, rs1: A0, rs2: A1, rs3: A2 };
-        let resp = self.llc.offload(xmnmc::encode_raw(&x), r1, r2, r3, self.now);
+        let x = XInstr {
+            func5: FUNC5_XMR,
+            width: sew,
+            rs1: A0,
+            rs2: A1,
+            rs3: A2,
+        };
+        let resp = self
+            .llc
+            .offload(xmnmc::encode_raw(&x), r1, r2, r3, self.now);
         assert!(matches!(resp, XifResponse::Accept { .. }), "xmr rejected");
         self.now += 10;
     }
@@ -48,8 +59,16 @@ impl Rig {
     fn xmk(&mut self, id: u8, sew: Sew, alpha: i16, beta: i16, md: u8, ms1: u8, ms2: u8, ms3: u8) {
         let m = |i| MatReg::new(i).unwrap();
         let (r1, r2, r3) = xmnmc::pack_kernel(alpha, beta, m(md), m(ms1), m(ms2), m(ms3));
-        let x = XInstr { func5: id, width: sew, rs1: A0, rs2: A1, rs3: A2 };
-        let resp = self.llc.offload(xmnmc::encode_raw(&x), r1, r2, r3, self.now);
+        let x = XInstr {
+            func5: id,
+            width: sew,
+            rs1: A0,
+            rs2: A1,
+            rs3: A2,
+        };
+        let resp = self
+            .llc
+            .offload(xmnmc::encode_raw(&x), r1, r2, r3, self.now);
         assert!(
             matches!(resp, XifResponse::Accept { .. }),
             "kernel {id} rejected: {:?}",
@@ -131,7 +150,16 @@ fn maxpool_matches_golden_various_windows() {
         rig.write(px, &x, sew);
         rig.xmr(0, px, 21, 30, sew);
         rig.xmr(1, pr, want.rows(), want.cols(), sew);
-        rig.xmk(kernel_id::MAXPOOL, sew, stride as i16, win as i16, 1, 0, 0, 0);
+        rig.xmk(
+            kernel_id::MAXPOOL,
+            sew,
+            stride as i16,
+            win as i16,
+            1,
+            0,
+            0,
+            0,
+        );
         let got = rig.read(pr, want.rows(), want.cols(), sew);
         assert_eq!(got, want, "win={win} stride={stride}");
     }

@@ -58,13 +58,23 @@ fn war_store_to_source_stalls_loads_pass() {
     let mut llc = ArcaneLlc::new(ArcaneConfig::with_lanes(4));
     launch_conv(&mut llc, 0);
     let t = 10;
-    let store = llc.host_access(A_ADDR, true, 99, AccessSize::Word, t).unwrap();
-    let load = llc.host_access(A_ADDR + 4, false, 0, AccessSize::Word, t).unwrap();
-    assert!(store.cycles > 1000, "WAR store must stall: {}", store.cycles);
+    let store = llc
+        .host_access(A_ADDR, true, 99, AccessSize::Word, t)
+        .unwrap();
+    let load = llc
+        .host_access(A_ADDR + 4, false, 0, AccessSize::Word, t)
+        .unwrap();
+    assert!(
+        store.cycles > 1000,
+        "WAR store must stall: {}",
+        store.cycles
+    );
     assert!(load.cycles < 1000, "source loads pass: {}", load.cycles);
     // The stalled store lands after allocation: the kernel still sees
     // the original all-ones data, so the result stays 27.
-    let r = llc.host_access(R_ADDR, false, 0, AccessSize::Word, t + store.cycles).unwrap();
+    let r = llc
+        .host_access(R_ADDR, false, 0, AccessSize::Word, t + store.cycles)
+        .unwrap();
     assert_eq!(r.data, 27);
 }
 
@@ -73,12 +83,16 @@ fn raw_and_waw_on_destination_stall_until_writeback() {
     let mut llc = ArcaneLlc::new(ArcaneConfig::with_lanes(4));
     let end = launch_conv(&mut llc, 0);
     let t = 10;
-    let read = llc.host_access(R_ADDR, false, 0, AccessSize::Word, t).unwrap();
+    let read = llc
+        .host_access(R_ADDR, false, 0, AccessSize::Word, t)
+        .unwrap();
     assert!(t + read.cycles > end, "RAW read stalls past writeback");
     assert_eq!(read.data, 27, "and observes the kernel result");
     // WAW: a store right after another kernel launch would also stall;
     // here the protection has lapsed, so it is fast.
-    let store = llc.host_access(R_ADDR, true, 5, AccessSize::Word, end + 10).unwrap();
+    let store = llc
+        .host_access(R_ADDR, true, 5, AccessSize::Word, end + 10)
+        .unwrap();
     assert!(store.cycles <= 2, "after writeback the region is free");
 }
 
@@ -89,9 +103,14 @@ fn access_outside_operands_is_not_blocked() {
     // An address unrelated to any operand must not suffer hazard stalls
     // (it may still see a lock window, which is bounded by one DMA).
     let far = BASE + 0x40_0000;
-    let a = llc.host_access(far, false, 0, AccessSize::Word, 10).unwrap();
+    let a = llc
+        .host_access(far, false, 0, AccessSize::Word, 10)
+        .unwrap();
     let end = llc.records()[0].end;
-    assert!(10 + a.cycles < end, "unrelated access must not wait for the kernel");
+    assert!(
+        10 + a.cycles < end,
+        "unrelated access must not wait for the kernel"
+    );
 }
 
 #[test]
@@ -108,7 +127,9 @@ fn renaming_resolves_rebinding_hazard() {
         XifResponse::Accept { .. }
     ));
     assert_eq!(llc.renames(), 1);
-    let r = llc.host_access(R_ADDR, false, 0, AccessSize::Word, 30).unwrap();
+    let r = llc
+        .host_access(R_ADDR, false, 0, AccessSize::Word, 30)
+        .unwrap();
     assert_eq!(r.data, 27, "in-flight kernel unaffected by the rebind");
 }
 

@@ -1,10 +1,10 @@
 //! Property-based tests on the core data structures and invariants.
 
 use arcane::core::cache::{CacheTable, ResourceChannel, Victim};
+use arcane::isa::reg::Gpr;
 use arcane::isa::rv32::{self, AluImmOp, AluOp, BranchOp, Instr, LoadOp, StoreOp};
 use arcane::isa::vector::{self, all_vops, Sr, VInstr, Vr};
 use arcane::isa::xmnmc::{self, XInstr};
-use arcane::isa::reg::Gpr;
 use arcane::mem::{Dma2d, DmaJob, Memory, Sram};
 use arcane::sim::Sew;
 use arcane::vpu::{Vpu, VpuConfig};
@@ -24,8 +24,14 @@ fn rv32_instr() -> impl Strategy<Value = Instr> {
     let branch_off = (-2048i32..2048).prop_map(|x| x * 2);
     let jal_off = (-100_000i32..100_000).prop_map(|x| x * 2);
     prop_oneof![
-        (gpr(), any::<u32>()).prop_map(|(rd, v)| Instr::Lui { rd, imm: v & 0xffff_f000 }),
-        (gpr(), any::<u32>()).prop_map(|(rd, v)| Instr::Auipc { rd, imm: v & 0xffff_f000 }),
+        (gpr(), any::<u32>()).prop_map(|(rd, v)| Instr::Lui {
+            rd,
+            imm: v & 0xffff_f000
+        }),
+        (gpr(), any::<u32>()).prop_map(|(rd, v)| Instr::Auipc {
+            rd,
+            imm: v & 0xffff_f000
+        }),
         (gpr(), jal_off).prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
         (gpr(), gpr(), imm12.clone()).prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
         (
@@ -41,7 +47,12 @@ fn rv32_instr() -> impl Strategy<Value = Instr> {
             gpr(),
             branch_off
         )
-            .prop_map(|(op, rs1, rs2, offset)| Instr::Branch { op, rs1, rs2, offset }),
+            .prop_map(|(op, rs1, rs2, offset)| Instr::Branch {
+                op,
+                rs1,
+                rs2,
+                offset
+            }),
         (
             prop_oneof![
                 Just(LoadOp::Lb),
@@ -54,14 +65,24 @@ fn rv32_instr() -> impl Strategy<Value = Instr> {
             gpr(),
             imm12.clone()
         )
-            .prop_map(|(op, rd, rs1, offset)| Instr::Load { op, rd, rs1, offset }),
+            .prop_map(|(op, rd, rs1, offset)| Instr::Load {
+                op,
+                rd,
+                rs1,
+                offset
+            }),
         (
             prop_oneof![Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw)],
             gpr(),
             gpr(),
             imm12.clone()
         )
-            .prop_map(|(op, rs2, rs1, offset)| Instr::Store { op, rs2, rs1, offset }),
+            .prop_map(|(op, rs2, rs1, offset)| Instr::Store {
+                op,
+                rs2,
+                rs1,
+                offset
+            }),
         (
             prop_oneof![
                 Just(AluImmOp::Addi),
@@ -77,7 +98,11 @@ fn rv32_instr() -> impl Strategy<Value = Instr> {
         )
             .prop_map(|(op, rd, rs1, imm)| Instr::OpImm { op, rd, rs1, imm }),
         (
-            prop_oneof![Just(AluImmOp::Slli), Just(AluImmOp::Srli), Just(AluImmOp::Srai)],
+            prop_oneof![
+                Just(AluImmOp::Slli),
+                Just(AluImmOp::Srli),
+                Just(AluImmOp::Srai)
+            ],
             gpr(),
             gpr(),
             0i32..32
