@@ -7,10 +7,19 @@
 //! [`Criterion::bench_function`], [`Bencher::iter`] and the
 //! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a
 //! simple warmup + timed-batch loop that reports the mean wall-clock
-//! time per iteration; there is no statistical analysis, HTML report,
-//! or baseline comparison. That is enough for the paper-reproduction
-//! benches, whose primary output is the regenerated tables/figures
-//! they print before measuring.
+//! time per iteration; there is no statistical analysis or HTML report.
+//!
+//! Unlike upstream's opaque state, baselines here are plain JSON files
+//! so perf regressions fail CI instead of being vibes:
+//!
+//! * `ARCANE_BENCH_BASELINE=record` writes one
+//!   `baselines/<bench-id>.json` (mean ns/iter) per bench under the
+//!   bench crate's manifest directory;
+//! * `ARCANE_BENCH_BASELINE=check` compares each measurement against
+//!   its committed baseline and makes the bench binary exit non-zero if
+//!   any bench regressed by more than `ARCANE_BENCH_TOLERANCE`
+//!   (default `0.25` = 25%);
+//! * unset: measure and print only.
 //!
 //! Set `ARCANE_BENCH_MS` (default `200`) to change the per-benchmark
 //! measurement budget in milliseconds.
@@ -25,6 +34,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -38,6 +49,137 @@ fn budget() -> Duration {
     Duration::from_millis(ms)
 }
 
+/// Baseline handling mode, from `ARCANE_BENCH_BASELINE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BaselineMode {
+    Off,
+    Record,
+    Check,
+}
+
+fn baseline_mode() -> BaselineMode {
+    match std::env::var("ARCANE_BENCH_BASELINE").as_deref() {
+        Ok("record") => BaselineMode::Record,
+        Ok("check") => BaselineMode::Check,
+        _ => BaselineMode::Off,
+    }
+}
+
+/// Allowed fractional regression before `check` fails (default 25%).
+fn tolerance() -> f64 {
+    std::env::var("ARCANE_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25)
+}
+
+fn baseline_dir() -> &'static OnceLock<PathBuf> {
+    static DIR: OnceLock<PathBuf> = OnceLock::new();
+    &DIR
+}
+
+fn regressions() -> &'static Mutex<Vec<String>> {
+    static R: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    &R
+}
+
+/// Sets the directory that holds `baselines/` (called by
+/// [`criterion_main!`] with the bench crate's manifest directory).
+pub fn set_baseline_root(manifest_dir: &str) {
+    let _ = baseline_dir().set(PathBuf::from(manifest_dir).join("baselines"));
+}
+
+fn baseline_path(id: &str) -> Option<PathBuf> {
+    let safe: String = id
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    Some(baseline_dir().get()?.join(format!("{safe}.json")))
+}
+
+/// Minimal JSON for one baseline entry; hand-rolled because the build
+/// environment has no serde.
+fn write_baseline(path: &PathBuf, id: &str, mean_ns: u64, iters: u64) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(
+        path,
+        format!(
+            "{{\n  \"bench\": \"{id}\",\n  \"mean_ns\": {mean_ns},\n  \"iters\": {iters}\n}}\n"
+        ),
+    )
+}
+
+/// Extracts `"mean_ns": <u64>` from a baseline file.
+fn parse_mean_ns(text: &str) -> Option<u64> {
+    let tail = text.split("\"mean_ns\"").nth(1)?;
+    let digits: String = tail
+        .chars()
+        .skip_while(|c| !c.is_ascii_digit())
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+fn record_or_check(id: &str, mean: Duration, iters: u64) {
+    let mode = baseline_mode();
+    if mode == BaselineMode::Off {
+        return;
+    }
+    let Some(path) = baseline_path(id) else {
+        println!("baseline: no root set for {id}; skipping");
+        return;
+    };
+    let mean_ns = mean.as_nanos() as u64;
+    match mode {
+        BaselineMode::Record => {
+            write_baseline(&path, id, mean_ns, iters).expect("baseline file writes");
+            println!("baseline recorded: {}", path.display());
+        }
+        BaselineMode::Check => {
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                println!("baseline missing for {id} ({}); skipping", path.display());
+                return;
+            };
+            let Some(base) = parse_mean_ns(&text) else {
+                println!("baseline unparsable for {id}; skipping");
+                return;
+            };
+            let ratio = mean_ns as f64 / base.max(1) as f64;
+            let tol = tolerance();
+            if ratio > 1.0 + tol {
+                let msg = format!(
+                    "{id}: {mean_ns} ns/iter vs baseline {base} ns/iter \
+                     (+{:.1}% > {:.0}% tolerance)",
+                    (ratio - 1.0) * 100.0,
+                    tol * 100.0
+                );
+                println!("baseline REGRESSION: {msg}");
+                regressions().lock().unwrap().push(msg);
+            } else {
+                println!(
+                    "baseline ok: {id} {mean_ns} ns/iter vs {base} ({:+.1}%)",
+                    (ratio - 1.0) * 100.0
+                );
+            }
+        }
+        BaselineMode::Off => unreachable!(),
+    }
+}
+
+/// Fails the process if `check` mode found regressions (called at the
+/// end of the `main` generated by [`criterion_main!`]).
+pub fn finish() {
+    let r = regressions().lock().unwrap();
+    assert!(
+        r.is_empty(),
+        "{} bench regression(s) beyond tolerance:\n  {}",
+        r.len(),
+        r.join("\n  ")
+    );
+}
+
 /// The benchmark driver: registers and immediately runs benchmarks.
 #[derive(Debug, Default)]
 pub struct Criterion {
@@ -47,6 +189,8 @@ pub struct Criterion {
 impl Criterion {
     /// Runs `f` once with a [`Bencher`], timing whatever the bencher's
     /// `iter` closure does, and prints the mean time per iteration.
+    /// Depending on `ARCANE_BENCH_BASELINE`, also records the mean to
+    /// the baseline directory or checks it against the committed value.
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
@@ -60,6 +204,7 @@ impl Criterion {
             "bench {:<40} {:>12.3?}/iter ({} iterations)",
             id, b.mean, b.iters
         );
+        record_or_check(id, b.mean, b.iters);
         self
     }
 }
@@ -118,14 +263,19 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the `main` that runs one or more benchmark groups.
+/// Declares the `main` that runs one or more benchmark groups, wires
+/// the baseline directory to the bench crate's `baselines/` folder and
+/// fails the process when `ARCANE_BENCH_BASELINE=check` found
+/// regressions.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             // cargo bench passes `--bench` (and possibly filters);
             // this minimal harness runs everything regardless.
+            $crate::set_baseline_root(env!("CARGO_MANIFEST_DIR"));
             $($group();)+
+            $crate::finish();
         }
     };
 }
@@ -139,5 +289,21 @@ mod tests {
         std::env::set_var("ARCANE_BENCH_MS", "10");
         let mut c = Criterion::default();
         c.bench_function("noop", |b| b.iter(|| 1u32 + 1));
+    }
+
+    #[test]
+    fn baseline_json_roundtrip() {
+        let dir = std::env::temp_dir().join("arcane-criterion-test");
+        let path = dir.join("x.json");
+        write_baseline(&path, "x", 12345, 7).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(parse_mean_ns(&text), Some(12345));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mean_ns_parser_tolerates_whitespace() {
+        assert_eq!(parse_mean_ns("{\"mean_ns\":  42 }"), Some(42));
+        assert_eq!(parse_mean_ns("{}"), None);
     }
 }

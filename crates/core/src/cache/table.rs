@@ -18,7 +18,11 @@ pub struct LineState {
     /// kernel (`0` = free).
     pub busy_until: u64,
     /// Approximate-LRU age counter (higher = more recently used).
+    /// The stored value is relative to [`LineState::lru_epoch`]; the
+    /// table decays it lazily (see [`CacheTable::touch`]).
     pub lru: u8,
+    /// Aging epoch in which `lru` was last written.
+    pub lru_epoch: u32,
     /// The line caches part of a registered kernel *source* operand
     /// (streamlines AT lookups, §III-A3).
     pub is_src: bool,
@@ -34,6 +38,7 @@ impl LineState {
             dirty: false,
             busy_until: 0,
             lru: 0,
+            lru_epoch: 0,
             is_src: false,
             is_dst: false,
         }
@@ -68,16 +73,43 @@ pub struct CacheTable {
     accesses_since_aging: u32,
     /// Aging period (accesses between global decays).
     aging_period: u32,
+    /// Current aging epoch. A line's effective age is its stored `lru`
+    /// decayed once per epoch elapsed since it was written — the same
+    /// numbers an eager full-table decay pass would produce, without
+    /// walking every line every period.
+    epoch: u32,
+    /// Recently-resolved `(tag, index)` pairs consulted before the
+    /// associative scan. Entries are *hints*: every hit is validated
+    /// against the line state, so external mutation through
+    /// [`CacheTable::line_mut`] can never produce a wrong lookup —
+    /// a stale hint just falls back to the scan.
+    mru: [(u32, u32); MRU_WAYS],
 }
+
+/// Number of MRU lookup hints (sized for the working set of a conv
+/// inner loop: output line + input rows + filter lines).
+const MRU_WAYS: usize = 8;
 
 impl CacheTable {
     /// Creates a table of `n_lines` lines of `line_bytes` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `line_bytes` is a power of two — tag and
+    /// line-offset arithmetic here and in the LLCs mask instead of
+    /// dividing.
     pub fn new(n_lines: usize, line_bytes: usize) -> Self {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "cache line size must be a power of two, got {line_bytes}"
+        );
         CacheTable {
             lines: vec![LineState::empty(); n_lines],
             line_bytes,
             accesses_since_aging: 0,
             aging_period: 64,
+            epoch: 0,
+            mru: [(u32::MAX, u32::MAX); MRU_WAYS],
         }
     }
 
@@ -111,24 +143,75 @@ impl CacheTable {
         &mut self.lines[idx]
     }
 
-    /// Finds the valid line holding `addr`, if any.
-    pub fn lookup(&self, addr: u32) -> Option<usize> {
+    /// Finds the valid line holding `addr`, if any, without updating
+    /// LRU state.
+    pub fn lookup(&mut self, addr: u32) -> Option<usize> {
+        self.probe(addr).map(|(idx, _)| idx)
+    }
+
+    /// MRU-hinted associative probe: the single home of the lookup
+    /// policy, shared by [`CacheTable::lookup`] and
+    /// [`CacheTable::access`].
+    ///
+    /// The table is fully associative with at most one valid line per
+    /// tag (refill only allocates after a lookup miss), so the hinted
+    /// fast path and the associative scan return the same line. Hints
+    /// are validated against the line state, so external mutation
+    /// through [`CacheTable::line_mut`] can never produce a wrong
+    /// result — a stale hint just falls back to the scan, which
+    /// refreshes the hint array.
+    fn probe(&mut self, addr: u32) -> Option<(usize, u32)> {
         let tag = self.tag_of(addr);
-        self.lines.iter().position(|l| l.valid && l.tag == tag)
+        for &(t, i) in &self.mru {
+            if t == tag {
+                let l = &self.lines[i as usize];
+                if l.valid && l.tag == tag {
+                    return Some((i as usize, tag));
+                }
+                break;
+            }
+        }
+        let pos = self.lines.iter().position(|l| l.valid && l.tag == tag)?;
+        self.mru.rotate_right(1);
+        self.mru[0] = (tag, pos as u32);
+        Some((pos, tag))
     }
 
     /// Marks line `idx` as just used (approximate LRU: the counter is
-    /// set to the maximum; every [`aging period`](Self::new) accesses all
-    /// counters decay by one).
+    /// set to the maximum; every [`aging period`](Self::new) accesses
+    /// every counter decays by one — applied lazily via the epoch).
     pub fn touch(&mut self, idx: usize) {
         self.lines[idx].lru = u8::MAX;
+        self.lines[idx].lru_epoch = self.epoch;
         self.accesses_since_aging += 1;
         if self.accesses_since_aging >= self.aging_period {
             self.accesses_since_aging = 0;
-            for l in &mut self.lines {
-                l.lru = l.lru.saturating_sub(1);
-            }
+            self.epoch = self.epoch.wrapping_add(1);
         }
+    }
+
+    /// Effective (lazily decayed) age counter of line `idx` (higher =
+    /// more recently used), as the eager per-period full-table decay
+    /// would have left it.
+    pub fn age_of(&self, idx: usize) -> u8 {
+        self.effective_lru(&self.lines[idx])
+    }
+
+    /// Effective (lazily decayed) age of a line: the stored counter
+    /// minus one per aging epoch elapsed since it was written, exactly
+    /// as the eager per-period full-table decay would have left it.
+    fn effective_lru(&self, l: &LineState) -> u8 {
+        let elapsed = self.epoch.wrapping_sub(l.lru_epoch).min(255) as u8;
+        l.lru.saturating_sub(elapsed)
+    }
+
+    /// Combined [`CacheTable::lookup`] + [`CacheTable::touch`] for the
+    /// cache hit path; returns the line index and its tag.
+    #[inline]
+    pub fn access(&mut self, addr: u32) -> Option<(usize, u32)> {
+        let hit = self.probe(addr)?;
+        self.touch(hit.0);
+        Some(hit)
     }
 
     /// Selects a replacement victim at time `now`: the non-busy line
@@ -145,7 +228,7 @@ impl CacheTable {
                 return Victim::Line(i);
             }
             // Prefer clean lines at equal age by biasing dirty lines up.
-            let score = l.lru as u16 * 2 + l.dirty as u16;
+            let score = self.effective_lru(l) as u16 * 2 + l.dirty as u16;
             match best {
                 Some((_, s)) if s <= score => {}
                 _ => best = Some((i, score)),
@@ -271,11 +354,12 @@ mod tests {
         let mut t = CacheTable::new(2, 1024);
         t.line_mut(0).valid = true;
         t.touch(0);
-        assert_eq!(t.line(0).lru, u8::MAX);
+        assert_eq!(t.age_of(0), u8::MAX);
         for _ in 0..64 {
             t.touch(1);
         }
-        assert!(t.line(0).lru < u8::MAX, "aging pass must decay counters");
+        assert!(t.age_of(0) < u8::MAX, "aging pass must decay counters");
+        assert_eq!(t.age_of(1), u8::MAX, "line 1 was just touched");
     }
 
     #[test]

@@ -198,7 +198,7 @@ impl ArcaneLlc {
         // A misaligned access crossing a line boundary becomes two
         // transactions, one per line (as the bus adapter would split it).
         let line_bytes = self.cfg.line_bytes();
-        if (addr as usize) % line_bytes + size.bytes() as usize > line_bytes {
+        if ((addr as usize) & (line_bytes - 1)) + size.bytes() as usize > line_bytes {
             let mut data = [0u8; 4];
             let mut cycles = 0;
             let vb = value.to_le_bytes();
@@ -236,10 +236,10 @@ impl ArcaneLlc {
 
         // Cache lookup; single-cycle hit (§III-A1).
         let mut service = 0u64;
-        let line = match self.table.lookup(addr) {
-            Some(i) => {
+        let (line, tag) = match self.table.access(addr) {
+            Some(hit) => {
                 self.stats.hits.incr();
-                i
+                hit
             }
             None => {
                 self.stats.misses.incr();
@@ -254,12 +254,10 @@ impl ArcaneLlc {
                     }
                 };
                 service += self.refill(i, addr)?;
-                i
+                self.table.touch(i);
+                (i, self.table.line(i).tag)
             }
         };
-        self.table.touch(line);
-
-        let tag = self.table.line(line).tag;
         let off = (addr - tag) as usize;
         let n = size.bytes() as usize;
         let data = if write {

@@ -86,15 +86,16 @@ impl StandardLlc {
         }
         // A misaligned access crossing a line boundary becomes two
         // transactions, one per line (as the bus adapter would split it).
-        let off_in_line = (addr as usize) % self.line_bytes;
+        // Line size is a power of two, so the offset is a mask.
+        let off_in_line = (addr as usize) & (self.line_bytes - 1);
         if off_in_line + size.bytes() as usize > self.line_bytes {
             return self.split_access(addr, write, value, size, _now);
         }
         let mut service = 0u64;
-        let line = match self.table.lookup(addr) {
-            Some(i) => {
+        let (line, tag) = match self.table.access(addr) {
+            Some(hit) => {
                 self.stats.hits.incr();
-                i
+                hit
             }
             None => {
                 self.stats.misses.incr();
@@ -103,11 +104,10 @@ impl StandardLlc {
                     Victim::AllBusyUntil(_) => unreachable!("no busy lines without compute"),
                 };
                 service += self.refill(i, addr)?;
-                i
+                self.table.touch(i);
+                (i, self.table.line(i).tag)
             }
         };
-        self.table.touch(line);
-        let tag = self.table.line(line).tag;
         let off = line * self.line_bytes + (addr - tag) as usize;
         let n = size.bytes() as usize;
         let data = if write {
@@ -123,27 +123,65 @@ impl StandardLlc {
         Ok(Access::new(data, service + 1))
     }
 
+    /// A line-crossing access as the bus adapter would split it: one
+    /// byte transaction per byte, in order. Semantically identical to
+    /// recursing into [`StandardLlc::host_access`] per byte (same hit/
+    /// miss counts, LRU updates and cycle charges); consecutive bytes
+    /// that stay in the line just resolved skip the redundant re-probe,
+    /// which matters because the XCVPULP kernels issue a misaligned
+    /// word load per output element.
     fn split_access(
         &mut self,
         addr: u32,
         write: bool,
         value: u32,
         size: AccessSize,
-        now: u64,
+        _now: u64,
     ) -> Result<Access, BusError> {
         let mut data = [0u8; 4];
-        let mut cycles = 0;
+        let mut cycles = 0u64;
         let vb = value.to_le_bytes();
+        let lb = self.line_bytes as u32;
+        let mut cur: Option<(usize, u32)> = None;
         for i in 0..size.bytes() {
-            let a = self.host_access(
-                addr + i,
-                write,
-                vb[i as usize] as u32,
-                AccessSize::Byte,
-                now,
-            )?;
-            data[i as usize] = a.data as u8;
-            cycles += a.cycles;
+            let a = addr + i;
+            let (line, tag) = match cur {
+                // Still inside the line of the previous byte: the probe
+                // would hit that same line; apply its state changes
+                // (touch + hit count) without re-probing.
+                Some((line, tag)) if a.wrapping_sub(tag) < lb => {
+                    self.table.touch(line);
+                    self.stats.hits.incr();
+                    (line, tag)
+                }
+                _ => match self.table.access(a) {
+                    Some(hit) => {
+                        self.stats.hits.incr();
+                        hit
+                    }
+                    None => {
+                        self.stats.misses.incr();
+                        let victim = match self.table.victim(0) {
+                            Victim::Line(v) => v,
+                            Victim::AllBusyUntil(_) => {
+                                unreachable!("no busy lines without compute")
+                            }
+                        };
+                        cycles += self.refill(victim, a)?;
+                        self.table.touch(victim);
+                        (victim, self.table.line(victim).tag)
+                    }
+                },
+            };
+            cur = Some((line, tag));
+            let off = line * self.line_bytes + (a - tag) as usize;
+            if write {
+                self.data[off] = vb[i as usize];
+                self.table.line_mut(line).dirty = true;
+            } else {
+                data[i as usize] = self.data[off];
+            }
+            cycles += 1;
         }
         Ok(Access::new(u32::from_le_bytes(data), cycles))
     }

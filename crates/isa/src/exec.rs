@@ -1,0 +1,408 @@
+//! Predecoded execution support: basic blocks and the block cache.
+//!
+//! The interpreter in `arcane-rv32` originally re-fetched and re-decoded
+//! every instruction on every dynamic execution — at 256×256 the Figure 4
+//! scalar baseline decodes the same <40-instruction inner loop over a
+//! hundred million times. This module provides the predecode stage that
+//! amortises that control overhead, the same way ARCANE itself amortises
+//! kernel-dispatch overhead over long data-local vector operations
+//! (paper §IV): straight-line runs of instructions are decoded once into
+//! a [`DecodedBlock`] and cached by start PC in a [`BlockCache`].
+//!
+//! A block ends at the first *control-class* instruction (branch, jump,
+//! `ecall`/`ebreak`, or a custom-2 offload whose acceptance is decided
+//! by the coprocessor) or at [`MAX_BLOCK_LEN`]. Each instruction
+//! carries a precomputed [`CostClass`] hint: predecode uses it to
+//! place block boundaries ([`CostClass::ends_block`]), and the engine
+//! uses it to gate the self-modifying-code re-check on store-class
+//! instructions instead of paying it on every retired instruction.
+//!
+//! The cache stays coherent with instruction memory: every store the
+//! core performs is offered to [`BlockCache::invalidate_write`], which
+//! drops any block whose PC range overlaps the written bytes and bumps a
+//! generation counter the engine checks mid-block (self-modifying-code
+//! guard).
+
+use crate::rv32::Instr;
+use crate::xcvpulp::PulpInstr;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Upper bound on the number of instructions in one [`DecodedBlock`].
+///
+/// Long straight-line runs are rare in the evaluation kernels (the hot
+/// loops are < 40 instructions); capping the block keeps predecode
+/// latency and invalidation granularity bounded.
+pub const MAX_BLOCK_LEN: usize = 64;
+
+/// Precomputed timing class of a decoded instruction.
+///
+/// Classes with a fixed cycle cost (ALU, multiplier, divider, SIMD,
+/// loop setup) can be charged without inspecting the operands; the
+/// remaining classes depend on runtime state (branch direction, bus
+/// wait states, coprocessor response).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostClass {
+    /// Single-cycle ALU class (`OpImm`, non-M `Op`, `lui`, `auipc`, `fence`).
+    Alu,
+    /// 32×32 multiply (`mul`).
+    Mul,
+    /// High-half multiply (`mulh*`).
+    Mulh,
+    /// Iterative divide/remainder.
+    Div,
+    /// Unconditional jump (`jal`/`jalr`).
+    Jump,
+    /// Conditional branch (taken/not-taken cost decided at run time).
+    Branch,
+    /// Memory load (bus-dependent cost).
+    Load,
+    /// Memory store (bus-dependent cost).
+    Store,
+    /// XCVPULP packed-SIMD / DSP op (single-cycle datapath).
+    Simd,
+    /// XCVPULP hardware-loop setup.
+    LoopSetup,
+    /// `ecall`/`ebreak` (terminates simulation).
+    System,
+    /// Custom-2 offload (cost decided by the coprocessor).
+    Offload,
+}
+
+impl CostClass {
+    /// Classifies a decoded instruction.
+    pub const fn of(instr: &Instr) -> CostClass {
+        match instr {
+            Instr::Lui { .. } | Instr::Auipc { .. } | Instr::OpImm { .. } | Instr::Fence => {
+                CostClass::Alu
+            }
+            Instr::Op { op, .. } => match op {
+                crate::rv32::AluOp::Mul => CostClass::Mul,
+                crate::rv32::AluOp::Mulh
+                | crate::rv32::AluOp::Mulhsu
+                | crate::rv32::AluOp::Mulhu => CostClass::Mulh,
+                crate::rv32::AluOp::Div
+                | crate::rv32::AluOp::Divu
+                | crate::rv32::AluOp::Rem
+                | crate::rv32::AluOp::Remu => CostClass::Div,
+                _ => CostClass::Alu,
+            },
+            Instr::Jal { .. } | Instr::Jalr { .. } => CostClass::Jump,
+            Instr::Branch { .. } => CostClass::Branch,
+            Instr::Load { .. } => CostClass::Load,
+            Instr::Store { .. } => CostClass::Store,
+            Instr::Ecall | Instr::Ebreak => CostClass::System,
+            Instr::Custom2 { .. } => CostClass::Offload,
+            Instr::Pulp(p) => match p {
+                PulpInstr::LoadPost { .. } => CostClass::Load,
+                PulpInstr::StorePost { .. } => CostClass::Store,
+                PulpInstr::LoopSetupI { .. } | PulpInstr::LoopSetup { .. } => CostClass::LoopSetup,
+                _ => CostClass::Simd,
+            },
+        }
+    }
+
+    /// `true` when an instruction of this class ends a basic block
+    /// (control transfer, program termination, or coprocessor offload).
+    pub const fn ends_block(self) -> bool {
+        matches!(
+            self,
+            CostClass::Jump | CostClass::Branch | CostClass::System | CostClass::Offload
+        )
+    }
+}
+
+/// A straight-line run of predecoded instructions.
+///
+/// The block starts at [`DecodedBlock::start`] and covers consecutive
+/// word-aligned PCs; the final instruction is either a control-class
+/// instruction ([`CostClass::ends_block`]) or the block was truncated at
+/// [`MAX_BLOCK_LEN`] / at a word that failed to decode (the engine
+/// re-enters predecode at the following PC, so a stale or invalid word
+/// only faults when control actually reaches it — exactly like the
+/// fetch-per-instruction interpreter).
+#[derive(Debug, Clone)]
+pub struct DecodedBlock {
+    start: u32,
+    instrs: Vec<(Instr, CostClass)>,
+}
+
+impl DecodedBlock {
+    /// Creates an empty block starting at `start`.
+    pub fn new(start: u32) -> Self {
+        DecodedBlock {
+            start,
+            instrs: Vec::new(),
+        }
+    }
+
+    /// Appends `instr`, classifying it; returns `true` while the block
+    /// remains open (i.e. the caller should keep pushing).
+    pub fn push(&mut self, instr: Instr) -> bool {
+        let class = CostClass::of(&instr);
+        self.instrs.push((instr, class));
+        !class.ends_block() && self.instrs.len() < MAX_BLOCK_LEN
+    }
+
+    /// First PC covered by the block.
+    pub const fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// One past the last byte covered by the block.
+    pub fn end(&self) -> u32 {
+        self.start.wrapping_add((self.instrs.len() * 4) as u32)
+    }
+
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// `true` when the block holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The predecoded instructions with their cost hints.
+    pub fn instrs(&self) -> &[(Instr, CostClass)] {
+        &self.instrs
+    }
+
+    /// `true` when `addr` falls inside the block's PC range.
+    pub fn covers(&self, addr: u32) -> bool {
+        addr >= self.start && addr < self.end()
+    }
+}
+
+/// Number of direct-mapped front slots (must be a power of two).
+const SLOTS: usize = 128;
+
+/// A PC-keyed cache of [`DecodedBlock`]s with write invalidation.
+///
+/// Lookups hit a direct-mapped front array first (hot loop bodies
+/// resolve in a couple of compares) and fall back to a hash map. Writes
+/// are screened against the union PC range of all cached blocks, so the
+/// common case — data stores far from code — costs two compares.
+#[derive(Debug, Clone)]
+pub struct BlockCache {
+    map: HashMap<u32, Rc<DecodedBlock>>,
+    slots: Vec<Option<Rc<DecodedBlock>>>,
+    /// Lowest PC covered by any cached block.
+    lo: u32,
+    /// One past the highest PC covered by any cached block.
+    hi: u32,
+    generation: u64,
+}
+
+impl Default for BlockCache {
+    fn default() -> Self {
+        BlockCache::new()
+    }
+}
+
+impl BlockCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        BlockCache {
+            map: HashMap::new(),
+            slots: vec![None; SLOTS],
+            lo: u32::MAX,
+            hi: 0,
+            generation: 0,
+        }
+    }
+
+    const fn slot_of(pc: u32) -> usize {
+        ((pc >> 2) as usize) & (SLOTS - 1)
+    }
+
+    /// Looks up the block starting exactly at `pc`.
+    pub fn get(&self, pc: u32) -> Option<Rc<DecodedBlock>> {
+        if let Some(b) = &self.slots[Self::slot_of(pc)] {
+            if b.start() == pc {
+                return Some(Rc::clone(b));
+            }
+        }
+        self.map.get(&pc).cloned()
+    }
+
+    /// Inserts a block and returns the shared handle.
+    pub fn insert(&mut self, block: DecodedBlock) -> Rc<DecodedBlock> {
+        self.lo = self.lo.min(block.start());
+        self.hi = self.hi.max(block.end());
+        let rc = Rc::new(block);
+        self.slots[Self::slot_of(rc.start())] = Some(Rc::clone(&rc));
+        self.map.insert(rc.start(), Rc::clone(&rc));
+        rc
+    }
+
+    /// Number of cached blocks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when the cache holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Monotonic counter bumped on every invalidation; the engine
+    /// re-reads it after each instruction of a block in flight so a
+    /// store into the block's own remainder aborts predecoded execution.
+    pub const fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Invalidates every block whose PC range overlaps the `bytes`-byte
+    /// store at `addr`. Cheap when the store is outside the union range
+    /// of all cached code (the overwhelmingly common case).
+    pub fn invalidate_write(&mut self, addr: u32, bytes: u32) {
+        let end = addr.wrapping_add(bytes);
+        if addr >= self.hi || end <= self.lo || self.map.is_empty() {
+            return;
+        }
+        let before = self.map.len();
+        self.map.retain(|_, b| end <= b.start() || addr >= b.end());
+        if self.map.len() != before {
+            self.generation += 1;
+            for slot in &mut self.slots {
+                if let Some(b) = slot {
+                    if !(end <= b.start() || addr >= b.end()) {
+                        *slot = None;
+                    }
+                }
+            }
+            // Recompute the union range from the survivors.
+            self.lo = u32::MAX;
+            self.hi = 0;
+            for b in self.map.values() {
+                self.lo = self.lo.min(b.start());
+                self.hi = self.hi.max(b.end());
+            }
+        }
+    }
+
+    /// Drops every cached block (used on core reset / program load).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.iter_mut().for_each(|s| *s = None);
+        self.lo = u32::MAX;
+        self.hi = 0;
+        self.generation += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{A0, A1};
+    use crate::rv32::{AluImmOp, AluOp, BranchOp};
+
+    fn addi() -> Instr {
+        Instr::OpImm {
+            op: AluImmOp::Addi,
+            rd: A0,
+            rs1: A0,
+            imm: 1,
+        }
+    }
+
+    fn branch() -> Instr {
+        Instr::Branch {
+            op: BranchOp::Ne,
+            rs1: A0,
+            rs2: A1,
+            offset: -8,
+        }
+    }
+
+    #[test]
+    fn block_ends_at_control_instruction() {
+        let mut b = DecodedBlock::new(0x100);
+        assert!(b.push(addi()));
+        assert!(b.push(addi()));
+        assert!(!b.push(branch()));
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.end(), 0x10c);
+        assert!(b.covers(0x108));
+        assert!(!b.covers(0x10c));
+    }
+
+    #[test]
+    fn block_caps_at_max_len() {
+        let mut b = DecodedBlock::new(0);
+        for i in 0..MAX_BLOCK_LEN {
+            let open = b.push(addi());
+            assert_eq!(open, i + 1 < MAX_BLOCK_LEN);
+        }
+        assert_eq!(b.len(), MAX_BLOCK_LEN);
+    }
+
+    #[test]
+    fn cost_classes() {
+        assert_eq!(CostClass::of(&addi()), CostClass::Alu);
+        assert_eq!(CostClass::of(&branch()), CostClass::Branch);
+        assert_eq!(
+            CostClass::of(&Instr::Op {
+                op: AluOp::Div,
+                rd: A0,
+                rs1: A0,
+                rs2: A1
+            }),
+            CostClass::Div
+        );
+        assert_eq!(CostClass::of(&Instr::Ebreak), CostClass::System);
+        assert!(CostClass::Branch.ends_block());
+        assert!(!CostClass::Load.ends_block());
+    }
+
+    #[test]
+    fn cache_roundtrip_and_fast_slot() {
+        let mut c = BlockCache::new();
+        let mut b = DecodedBlock::new(0x40);
+        b.push(addi());
+        b.push(branch());
+        c.insert(b);
+        assert_eq!(c.len(), 1);
+        let hit = c.get(0x40).expect("cached");
+        assert_eq!(hit.len(), 2);
+        assert!(c.get(0x44).is_none(), "keyed by start PC only");
+    }
+
+    #[test]
+    fn invalidation_is_range_precise() {
+        let mut c = BlockCache::new();
+        for start in [0x00u32, 0x40, 0x80] {
+            let mut b = DecodedBlock::new(start);
+            b.push(addi());
+            b.push(branch());
+            c.insert(b);
+        }
+        let g0 = c.generation();
+        // A data store far above code: no-op, no generation bump.
+        c.invalidate_write(0x4000, 4);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.generation(), g0);
+        // Overwrite the second instruction of the middle block.
+        c.invalidate_write(0x44, 4);
+        assert_eq!(c.len(), 2);
+        assert!(c.get(0x40).is_none());
+        assert!(c.get(0x00).is_some() && c.get(0x80).is_some());
+        assert!(c.generation() > g0);
+        // An unaligned byte store straddling into the last block.
+        c.invalidate_write(0x80, 1);
+        assert!(c.get(0x80).is_none());
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut c = BlockCache::new();
+        let mut b = DecodedBlock::new(0);
+        b.push(addi());
+        c.insert(b);
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.get(0).is_none());
+    }
+}

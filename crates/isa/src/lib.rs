@@ -17,6 +17,9 @@
 //! * [`asm`] — a small two-pass assembler with labels and pseudo
 //!   instructions, used to build every evaluation workload as real
 //!   machine code.
+//! * [`exec`] — the predecode stage of the block-stepping execution
+//!   engine: cached [`exec::DecodedBlock`]s of straight-line code with
+//!   per-instruction cost hints and write invalidation.
 //!
 //! # Examples
 //!
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod exec;
 pub mod reg;
 pub mod rv32;
 pub mod rvc;

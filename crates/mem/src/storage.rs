@@ -19,6 +19,7 @@ pub trait Memory {
     }
 
     /// `true` when `[addr, addr + len)` lies inside the device.
+    #[inline]
     fn contains(&self, addr: u32, len: u32) -> bool {
         let end = self.base() as u64 + self.len() as u64;
         (addr as u64) >= self.base() as u64 && (addr as u64 + len as u64) <= end
@@ -59,6 +60,7 @@ pub trait Memory {
     }
 }
 
+#[inline]
 fn offset_of(base: u32, size: usize, addr: u32, len: usize) -> Result<usize, BusError> {
     let off = (addr as u64).checked_sub(base as u64);
     match off {
@@ -120,12 +122,14 @@ impl Memory for Sram {
         self.data.len()
     }
 
+    #[inline]
     fn read_bytes(&self, addr: u32, buf: &mut [u8]) -> Result<(), BusError> {
         let off = offset_of(self.base, self.data.len(), addr, buf.len())?;
         buf.copy_from_slice(&self.data[off..off + buf.len()]);
         Ok(())
     }
 
+    #[inline]
     fn write_bytes(&mut self, addr: u32, buf: &[u8]) -> Result<(), BusError> {
         let off = offset_of(self.base, self.data.len(), addr, buf.len())?;
         self.data[off..off + buf.len()].copy_from_slice(buf);
@@ -188,6 +192,7 @@ impl Memory for ExtMem {
         self.data.len()
     }
 
+    #[inline]
     fn read_bytes(&self, addr: u32, buf: &mut [u8]) -> Result<(), BusError> {
         let off = offset_of(self.base, self.data.len(), addr, buf.len())?;
         buf.copy_from_slice(&self.data[off..off + buf.len()]);

@@ -3,13 +3,16 @@
 use crate::simd::pv_exec;
 use crate::timing::Timing;
 use crate::xif::{Coprocessor, XifResponse};
+use arcane_isa::exec::{BlockCache, CostClass, DecodedBlock};
 use arcane_isa::reg::Gpr;
 use arcane_isa::rv32::{decode, AluImmOp, AluOp, BranchOp, Instr, LoadOp, StoreOp};
 use arcane_isa::xcvpulp::PulpInstr;
 use arcane_isa::DecodeError;
 use arcane_mem::{Access, AccessSize, Bus, BusError, Memory, Sram};
+use arcane_sim::EngineMode;
 use std::error::Error;
 use std::fmt;
+use std::rc::Rc;
 
 /// Why [`Cpu::run`] stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +109,9 @@ pub struct Cpu {
     instret: u64,
     timing: Timing,
     loops: [HwLoop; 2],
+    /// `true` while any hardware loop is active (fast-path guard).
+    loops_active: bool,
+    blocks: BlockCache,
 }
 
 impl Cpu {
@@ -124,6 +130,8 @@ impl Cpu {
             instret: 0,
             timing,
             loops: [HwLoop::default(); 2],
+            loops_active: false,
+            blocks: BlockCache::new(),
         }
     }
 
@@ -143,24 +151,39 @@ impl Cpu {
     }
 
     /// Reads a register (`x0` always reads zero).
+    ///
+    /// `Gpr` guarantees the index is below 32; the redundant mask lets
+    /// the compiler drop the bounds check from the hottest load in the
+    /// simulator.
+    #[inline(always)]
     pub fn reg(&self, r: Gpr) -> u32 {
-        self.regs[r.index() as usize]
+        self.regs[(r.index() & 31) as usize]
     }
 
     /// Writes a register (writes to `x0` are discarded).
+    #[inline(always)]
     pub fn set_reg(&mut self, r: Gpr, value: u32) {
         if !r.is_zero() {
-            self.regs[r.index() as usize] = value;
+            self.regs[(r.index() & 31) as usize] = value;
         }
     }
 
-    /// Resets PC, registers, counters and hardware loops.
+    /// Resets PC, registers, counters, hardware loops and the decoded
+    /// block cache (instruction memory may be about to change).
     pub fn reset(&mut self, pc: u32) {
         self.regs = [0; 32];
         self.pc = pc;
         self.cycles = 0;
         self.instret = 0;
         self.loops = [HwLoop::default(); 2];
+        self.loops_active = false;
+        self.blocks.clear();
+    }
+
+    /// The decoded-block cache of the block-stepping engine (empty
+    /// until the first [`Cpu::run`] in block mode).
+    pub const fn block_cache(&self) -> &BlockCache {
+        &self.blocks
     }
 
     fn mem_read<B: Bus>(
@@ -190,6 +213,9 @@ impl Cpu {
         let acc = bus
             .write(addr, value, size, self.cycles)
             .map_err(|source| CpuError::Bus { pc, source })?;
+        // Self-modifying-code guard: drop any predecoded block the
+        // store overlaps (two compares when the store is outside code).
+        self.blocks.invalidate_write(addr, size.bytes());
         let extra = if !addr.is_multiple_of(size.bytes()) {
             self.timing.misaligned_extra
         } else {
@@ -220,7 +246,22 @@ impl Cpu {
             .map_err(|source| CpuError::Bus { pc, source })?
             .data;
         let instr = decode(word).map_err(|source| CpuError::Decode { pc, source })?;
+        self.exec_instr(bus, xif, instr)
+    }
 
+    /// Executes one already-decoded instruction at the current PC.
+    ///
+    /// This is the single execution path shared by [`Cpu::step`] and
+    /// [`Cpu::run_block`], which is what guarantees the two engines
+    /// produce bit- and cycle-identical results.
+    #[inline(always)]
+    fn exec_instr<B: Bus, X: Coprocessor>(
+        &mut self,
+        bus: &mut B,
+        xif: &mut X,
+        instr: Instr,
+    ) -> Result<Option<StopReason>, CpuError> {
+        let pc = self.pc;
         let mut next_pc = pc.wrapping_add(4);
         let mut cost = self.timing.alu;
         let mut stop = None;
@@ -341,8 +382,10 @@ impl Cpu {
 
         // Hardware loops: if the retired instruction is the last of an
         // active loop body, wrap to the loop start with zero overhead.
-        // Loop 0 is the innermost per the XPULP convention.
-        if next_pc == pc.wrapping_add(4) {
+        // Loop 0 is the innermost per the XPULP convention. Guarded by
+        // one flag so plain RV32IM code pays a single predictable
+        // branch here.
+        if self.loops_active && next_pc == pc.wrapping_add(4) {
             for l in 0..2 {
                 let lp = &mut self.loops[l];
                 if lp.active && pc == lp.last {
@@ -351,6 +394,7 @@ impl Cpu {
                         next_pc = lp.start;
                     } else {
                         lp.active = false;
+                        self.loops_active = self.loops[0].active || self.loops[1].active;
                     }
                     break;
                 }
@@ -447,21 +491,57 @@ impl Cpu {
         let lp = &mut self.loops[idx];
         if count == 0 || body_len == 0 {
             lp.active = false;
+            self.loops_active = self.loops[0].active || self.loops[1].active;
             return;
         }
         lp.start = start;
         lp.last = start.wrapping_add((body_len - 1) * 4);
         lp.remaining = count;
         lp.active = true;
+        self.loops_active = true;
     }
 
     /// Runs until `ebreak`/`ecall` or until `max_instrs` instructions
-    /// have retired.
+    /// have retired, on the engine selected by the environment
+    /// ([`EngineMode::current`]: block stepping unless `ARCANE_INTERP=1`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CpuError`] raised by execution.
+    pub fn run<B: Bus, X: Coprocessor>(
+        &mut self,
+        bus: &mut B,
+        xif: &mut X,
+        max_instrs: u64,
+    ) -> Result<RunResult, CpuError> {
+        self.run_with_engine(bus, xif, max_instrs, EngineMode::current())
+    }
+
+    /// [`Cpu::run`] with an explicit engine choice (used by the
+    /// differential tests, which need both engines in one process).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CpuError`] raised by execution.
+    pub fn run_with_engine<B: Bus, X: Coprocessor>(
+        &mut self,
+        bus: &mut B,
+        xif: &mut X,
+        max_instrs: u64,
+        engine: EngineMode,
+    ) -> Result<RunResult, CpuError> {
+        match engine {
+            EngineMode::Interp => self.run_interp(bus, xif, max_instrs),
+            EngineMode::Block => self.run_blocks(bus, xif, max_instrs),
+        }
+    }
+
+    /// The reference fetch-decode-execute interpreter (the slow path).
     ///
     /// # Errors
     ///
     /// Propagates the first [`CpuError`] raised by [`Cpu::step`].
-    pub fn run<B: Bus, X: Coprocessor>(
+    pub fn run_interp<B: Bus, X: Coprocessor>(
         &mut self,
         bus: &mut B,
         xif: &mut X,
@@ -483,6 +563,169 @@ impl Cpu {
             cycles: self.cycles - start_cycles,
             stop: StopReason::OutOfFuel,
         })
+    }
+
+    /// The predecoded block-stepping engine: fetch/decode happen once
+    /// per basic block (cached by PC), execution loops over the decoded
+    /// instructions. Hardware-loop bodies and branch-closed inner loops
+    /// re-enter their memoised block without touching the bus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CpuError`] raised by execution; fetch and
+    /// decode faults surface at exactly the PC where the interpreter
+    /// would raise them (predecode truncates a block at the first bad
+    /// word instead of failing eagerly).
+    pub fn run_blocks<B: Bus, X: Coprocessor>(
+        &mut self,
+        bus: &mut B,
+        xif: &mut X,
+        max_instrs: u64,
+    ) -> Result<RunResult, CpuError> {
+        let start_instret = self.instret;
+        let start_cycles = self.cycles;
+        let mut cur: Option<Rc<DecodedBlock>> = None;
+        while self.instret - start_instret < max_instrs {
+            let remaining = max_instrs - (self.instret - start_instret);
+            // Self-loop fast path: a block whose terminator jumps back
+            // to its own start (hot inner loops, hardware-loop bodies)
+            // is re-entered without a cache lookup.
+            let block = match cur.take() {
+                Some(b) if b.start() == self.pc && !b.is_empty() => b,
+                _ => self.fetch_block(bus)?,
+            };
+            let gen = self.blocks.generation();
+            if let Some(stop) = self.run_block(bus, xif, &block, remaining)? {
+                return Ok(RunResult {
+                    instret: self.instret - start_instret,
+                    cycles: self.cycles - start_cycles,
+                    stop,
+                });
+            }
+            // The self-loop fast path must never hand back a block a
+            // store just invalidated (the held Rc outlives the cache
+            // entry): any invalidation during the run drops the
+            // shortcut and the next iteration re-resolves through the
+            // cache, which re-predecodes from patched memory.
+            cur = if self.blocks.generation() == gen {
+                Some(block)
+            } else {
+                None
+            };
+        }
+        Ok(RunResult {
+            instret: self.instret - start_instret,
+            cycles: self.cycles - start_cycles,
+            stop: StopReason::OutOfFuel,
+        })
+    }
+
+    /// Returns the decoded block starting at the current PC, predecoding
+    /// and caching it on a miss.
+    fn fetch_block<B: Bus>(&mut self, bus: &mut B) -> Result<Rc<DecodedBlock>, CpuError> {
+        let pc = self.pc;
+        if let Some(b) = self.blocks.get(pc) {
+            return Ok(b);
+        }
+        let mut block = DecodedBlock::new(pc);
+        let mut addr = pc;
+        loop {
+            // A fetch or decode fault on the *first* word is a real
+            // fault (the interpreter would raise it here too); later
+            // words merely truncate the block, because control may
+            // never reach them.
+            let word = match bus.fetch(addr, self.cycles) {
+                Ok(acc) => acc.data,
+                Err(source) => {
+                    if addr == pc {
+                        return Err(CpuError::Bus { pc, source });
+                    }
+                    break;
+                }
+            };
+            let instr = match decode(word) {
+                Ok(i) => i,
+                Err(source) => {
+                    if addr == pc {
+                        return Err(CpuError::Decode { pc, source });
+                    }
+                    break;
+                }
+            };
+            let open = block.push(instr);
+            addr = addr.wrapping_add(4);
+            if !open {
+                break;
+            }
+        }
+        Ok(self.blocks.insert(block))
+    }
+
+    /// Executes predecoded instructions from `block` starting at the
+    /// current PC until the block ends, control leaves the straight
+    /// line (taken branch, jump, hardware-loop wrap), a store
+    /// invalidates cached code, the program stops, or `max_instrs`
+    /// instructions have retired.
+    ///
+    /// Returns the stop reason when the program terminated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CpuError`] raised by an instruction.
+    ///
+    pub fn run_block<B: Bus, X: Coprocessor>(
+        &mut self,
+        bus: &mut B,
+        xif: &mut X,
+        block: &DecodedBlock,
+        max_instrs: u64,
+    ) -> Result<Option<StopReason>, CpuError> {
+        debug_assert!(
+            block.covers(self.pc),
+            "pc {:#010x} outside block at {:#010x}",
+            self.pc,
+            block.start()
+        );
+        let mut idx = (self.pc.wrapping_sub(block.start()) / 4) as usize;
+        let gen = self.blocks.generation();
+        let instrs = block.instrs();
+        let mut executed = 0u64;
+        while idx < instrs.len() && executed < max_instrs {
+            let pc = self.pc;
+            let (instr, cost_hint) = instrs[idx];
+            let stop = self.exec_instr(bus, xif, instr)?;
+            executed += 1;
+            if stop.is_some() {
+                return Ok(stop);
+            }
+            // Only stores can invalidate predecoded code, so the
+            // coherence re-check is gated on the precomputed cost hint.
+            // It must run before the control-transfer continuation
+            // below: a store can itself end a hardware-loop body, and
+            // wrapping back into a block it just invalidated would
+            // replay stale instructions.
+            if matches!(cost_hint, CostClass::Store) && self.blocks.generation() != gen {
+                // A store invalidated cached code — possibly the rest
+                // of this very block. Fall back to a fresh predecode at
+                // the current PC, exactly like the interpreter
+                // refetching.
+                return Ok(None);
+            }
+            if self.pc != pc.wrapping_add(4) {
+                // Control transfer (taken branch or hardware-loop
+                // wrap). A target inside this very block — typically a
+                // hardware-loop body wrapping to its start — continues
+                // predecoded without leaving; anything else returns so
+                // the caller re-resolves the block at the new PC.
+                if block.covers(self.pc) {
+                    idx = (self.pc.wrapping_sub(block.start()) / 4) as usize;
+                    continue;
+                }
+                return Ok(None);
+            }
+            idx += 1;
+        }
+        Ok(None)
     }
 }
 
@@ -598,6 +841,7 @@ impl SramBus {
 }
 
 impl Bus for SramBus {
+    #[inline]
     fn read(&mut self, addr: u32, size: AccessSize, _now: u64) -> Result<Access, BusError> {
         let mut buf = [0u8; 4];
         self.ram
@@ -605,6 +849,7 @@ impl Bus for SramBus {
         Ok(Access::new(u32::from_le_bytes(buf), 1))
     }
 
+    #[inline]
     fn write(
         &mut self,
         addr: u32,
@@ -617,6 +862,7 @@ impl Bus for SramBus {
         Ok(Access::new(0, 1))
     }
 
+    #[inline]
     fn fetch(&mut self, addr: u32, _now: u64) -> Result<Access, BusError> {
         Ok(Access::new(self.ram.read_u32(addr)?, 1))
     }

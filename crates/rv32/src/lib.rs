@@ -18,6 +18,14 @@
 //! to a [`Coprocessor`] via the CV-X-IF-style [`Cpu::step`] hook,
 //! mirroring the paper's offloading mechanism (§III-B).
 //!
+//! Two execution engines share one instruction-semantics path:
+//! [`Cpu::run`] dispatches to the predecoded block-stepping engine
+//! ([`Cpu::run_blocks`], the default) or the reference interpreter
+//! ([`Cpu::run_interp`], forced by `ARCANE_INTERP=1`). Results are bit-
+//! and cycle-identical; the block engine simply skips the per-dynamic-
+//! instruction fetch and decode by caching
+//! [`arcane_isa::exec::DecodedBlock`]s keyed by PC.
+//!
 //! # Examples
 //!
 //! ```

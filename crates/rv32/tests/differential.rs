@@ -1,0 +1,280 @@
+//! Differential harness: random short programs through the reference
+//! interpreter and the predecoded block engine must be observationally
+//! identical — registers, memory, cycle count, retired-instruction
+//! count, final PC and stop reason (or the exact same [`CpuError`]).
+//!
+//! Programs are generated as *valid-by-construction instruction soup*
+//! plus a slice of genuinely random words: arithmetic over random
+//! registers, loads/stores near pre-seeded base pointers (in range so
+//! runs get deep, but stores may land on code — exercising the
+//! self-modifying-code invalidation), forward and backward branches
+//! (fuel bounds the infinite loops), hardware loops and packed-SIMD
+//! ops. Failures must reproduce: the proptest shim is deterministic per
+//! test name.
+
+use arcane_isa::exec::MAX_BLOCK_LEN;
+use arcane_isa::reg::Gpr;
+use arcane_isa::rv32::{encode, AluImmOp, AluOp, BranchOp, Instr, LoadOp, StoreOp};
+use arcane_isa::xcvpulp::PulpInstr;
+use arcane_rv32::{Cpu, CpuError, NoCoprocessor, RunResult, SramBus, StopReason};
+use arcane_sim::EngineMode;
+use proptest::prelude::*;
+
+/// RAM size: program at 0, data pointers seeded within this range.
+const RAM: usize = 64 * 1024;
+
+/// Fuel per case (small, so random backward branches terminate fast).
+const FUEL: u64 = 20_000;
+
+fn gpr(i: u8) -> Gpr {
+    Gpr::new(i % 32).expect("masked")
+}
+
+/// One generated instruction, from a compact random tuple.
+#[derive(Debug, Clone, Copy)]
+struct Spec {
+    kind: u8,
+    rd: u8,
+    rs1: u8,
+    rs2: u8,
+    imm: i32,
+    aux: u8,
+}
+
+fn word_of(s: Spec, index: usize, len: usize) -> u32 {
+    let rd = gpr(s.rd);
+    let rs1 = gpr(s.rs1);
+    let rs2 = gpr(s.rs2);
+    let instr = match s.kind % 12 {
+        0 => Instr::OpImm {
+            op: [
+                AluImmOp::Addi,
+                AluImmOp::Slti,
+                AluImmOp::Xori,
+                AluImmOp::Ori,
+                AluImmOp::Andi,
+            ][(s.aux % 5) as usize],
+            rd,
+            rs1,
+            imm: s.imm.clamp(-2048, 2047),
+        },
+        1 => Instr::OpImm {
+            op: [AluImmOp::Slli, AluImmOp::Srli, AluImmOp::Srai][(s.aux % 3) as usize],
+            rd,
+            rs1,
+            imm: s.imm.rem_euclid(32),
+        },
+        2 => Instr::Op {
+            op: [
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::Sll,
+                AluOp::Xor,
+                AluOp::Mul,
+                AluOp::Mulh,
+                AluOp::Div,
+                AluOp::Rem,
+                AluOp::Sltu,
+                AluOp::And,
+            ][(s.aux % 10) as usize],
+            rd,
+            rs1,
+            rs2,
+        },
+        3 => Instr::Load {
+            op: [LoadOp::Lb, LoadOp::Lh, LoadOp::Lw, LoadOp::Lbu, LoadOp::Lhu]
+                [(s.aux % 5) as usize],
+            rd,
+            rs1,
+            offset: s.imm.clamp(-256, 256),
+        },
+        4 => Instr::Store {
+            op: [StoreOp::Sb, StoreOp::Sh, StoreOp::Sw][(s.aux % 3) as usize],
+            rs2,
+            rs1,
+            offset: s.imm.clamp(-256, 256),
+        },
+        5 => {
+            // Branch to a nearby instruction (aligned), forward or back.
+            let lo = -(index as i32);
+            let hi = (len - index) as i32;
+            let delta = (s.imm % 8).clamp(lo, hi - 1).max(lo);
+            Instr::Branch {
+                op: [
+                    BranchOp::Eq,
+                    BranchOp::Ne,
+                    BranchOp::Lt,
+                    BranchOp::Ge,
+                    BranchOp::Ltu,
+                    BranchOp::Geu,
+                ][(s.aux % 6) as usize],
+                rs1,
+                rs2,
+                offset: delta * 4,
+            }
+        }
+        6 => Instr::Lui {
+            rd,
+            imm: (s.imm as u32) & 0xffff_f000,
+        },
+        7 => Instr::Pulp(PulpInstr::LoopSetupI {
+            loop_id: s.aux % 2 == 1,
+            count: u16::from(s.rs2 % 6) + 1,
+            body_len: s.rd % 4 + 1,
+        }),
+        8 => Instr::Pulp(PulpInstr::LoadPost {
+            op: [LoadOp::Lb, LoadOp::Lw][(s.aux % 2) as usize],
+            rd,
+            rs1,
+            offset: i32::from(s.rs2 % 8),
+        }),
+        9 => Instr::Pulp(PulpInstr::Mac { rd, rs1, rs2 }),
+        10 => Instr::Auipc {
+            rd,
+            imm: (s.imm as u32) & 0x0000_f000,
+        },
+        // Raw word: usually undecodable — both engines must raise the
+        // identical decode error at the identical pc.
+        _ => return s.imm as u32 ^ 0x8000_0513,
+    };
+    encode(&instr)
+}
+
+/// Builds the program image: register-seeding prologue (base pointers
+/// into RAM so loads/stores mostly land in bounds) + generated body +
+/// `ebreak`.
+fn build_image(specs: &[Spec]) -> Vec<u32> {
+    let mut words = Vec::new();
+    // Seed x1..x15 with in-range data addresses: lui + addi pairs.
+    for (i, r) in (1u8..16).enumerate() {
+        let addr = 0x4000 + (i as i32) * 0x800 + 0x10;
+        words.push(encode(&Instr::Lui {
+            rd: gpr(r),
+            imm: (addr as u32) & 0xffff_f000,
+        }));
+        words.push(encode(&Instr::OpImm {
+            op: AluImmOp::Addi,
+            rd: gpr(r),
+            rs1: gpr(r),
+            imm: addr & 0xfff,
+        }));
+    }
+    let body_at = words.len();
+    for (i, s) in specs.iter().enumerate() {
+        words.push(word_of(*s, body_at + i, body_at + specs.len() + 1));
+    }
+    words.push(encode(&Instr::Ebreak));
+    words
+}
+
+type Outcome = (
+    Result<RunResult, CpuError>,
+    [u32; 32],
+    u32,
+    u64,
+    u64,
+    Vec<u8>,
+);
+
+fn run_engine(words: &[u32], engine: EngineMode) -> Outcome {
+    let mut bus = SramBus::new(RAM);
+    bus.load_program(0, words);
+    let mut cpu = Cpu::new(0);
+    let result = cpu.run_with_engine(&mut bus, &mut NoCoprocessor, FUEL, engine);
+    let regs: [u32; 32] = std::array::from_fn(|i| cpu.reg(gpr(i as u8)));
+    let mut mem = vec![0u8; RAM];
+    use arcane_mem::Memory;
+    bus.ram().read_bytes(0, &mut mem).expect("whole RAM");
+    (result, regs, cpu.pc(), cpu.cycles(), cpu.instret(), mem)
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    (
+        any::<u8>(),
+        any::<u8>(),
+        any::<u8>(),
+        any::<u8>(),
+        -4096i32..4096,
+        any::<u8>(),
+    )
+        .prop_map(|(kind, rd, rs1, rs2, imm, aux)| Spec {
+            kind,
+            rd,
+            rs1,
+            rs2,
+            imm,
+            aux,
+        })
+}
+
+proptest! {
+    #[test]
+    fn engines_agree_on_random_programs(
+        specs in prop::collection::vec(spec_strategy(), 1..96),
+    ) {
+        let words = build_image(&specs);
+        let blk = run_engine(&words, EngineMode::Block);
+        let interp = run_engine(&words, EngineMode::Interp);
+        prop_assert_eq!(&blk.0, &interp.0, "run result diverged");
+        prop_assert_eq!(blk.1, interp.1, "registers diverged");
+        prop_assert_eq!(blk.2, interp.2, "pc diverged");
+        prop_assert_eq!(blk.3, interp.3, "cycles diverged");
+        prop_assert_eq!(blk.4, interp.4, "instret diverged");
+        prop_assert_eq!(&blk.5, &interp.5, "memory diverged");
+    }
+
+    #[test]
+    fn engines_agree_on_raw_word_soup(
+        words in prop::collection::vec(any::<u32>(), 1..48),
+    ) {
+        // Pure garbage: mostly decode errors; the error (pc + reason)
+        // and all architectural state must match exactly.
+        let blk = run_engine(&words, EngineMode::Block);
+        let interp = run_engine(&words, EngineMode::Interp);
+        prop_assert_eq!(&blk.0, &interp.0);
+        prop_assert_eq!(blk.1, interp.1);
+        prop_assert_eq!((blk.2, blk.3, blk.4), (interp.2, interp.3, interp.4));
+    }
+}
+
+#[test]
+fn long_straight_line_crosses_block_cap() {
+    // More consecutive ALU instructions than MAX_BLOCK_LEN: the block
+    // engine must chain truncated blocks without losing an instruction.
+    let n = MAX_BLOCK_LEN * 3 + 7;
+    let specs: Vec<Spec> = (0..n)
+        .map(|_| Spec {
+            kind: 0,
+            rd: 5,
+            rs1: 5,
+            imm: 1,
+            rs2: 0,
+            aux: 0,
+        })
+        .collect();
+    let words = build_image(&specs);
+    let blk = run_engine(&words, EngineMode::Block);
+    let interp = run_engine(&words, EngineMode::Interp);
+    assert_eq!(blk.0, interp.0);
+    assert_eq!(blk.1, interp.1);
+    let r = blk.0.expect("program completes");
+    assert_eq!(r.stop, StopReason::Break);
+}
+
+#[test]
+fn out_of_fuel_stops_at_identical_state() {
+    // An infinite self-branch: both engines must burn exactly FUEL
+    // instructions and stop with OutOfFuel at the same pc.
+    let words = vec![encode(&Instr::Branch {
+        op: BranchOp::Eq,
+        rs1: gpr(0),
+        rs2: gpr(0),
+        offset: 0,
+    })];
+    let blk = run_engine(&words, EngineMode::Block);
+    let interp = run_engine(&words, EngineMode::Interp);
+    assert_eq!(blk.0, interp.0);
+    assert_eq!(blk.0.unwrap().stop, StopReason::OutOfFuel);
+    assert_eq!(blk.4, FUEL);
+    assert_eq!(blk.4, interp.4);
+}

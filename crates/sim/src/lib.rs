@@ -11,6 +11,9 @@
 //! * [`Sew`] — selected element width of a vector/matrix operand
 //!   (the `.b` / `.h` / `.w` suffix of the `xmnmc` instructions).
 //! * [`Counter`] and [`CacheStats`] — lightweight event statistics.
+//! * [`EngineMode`] — selects the host-core execution engine (predecoded
+//!   block stepping by default, `ARCANE_INTERP=1` for the reference
+//!   interpreter).
 //!
 //! # Examples
 //!
@@ -29,10 +32,12 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod engine;
 mod phase;
 mod stats;
 
 pub use clock::Clock;
+pub use engine::EngineMode;
 pub use phase::{Phase, PhaseBreakdown};
 pub use stats::{CacheStats, Counter};
 

@@ -23,11 +23,13 @@ impl Counter {
     }
 
     /// Increments by one.
+    #[inline]
     pub fn incr(&mut self) {
         self.0 = self.0.saturating_add(1);
     }
 
     /// Adds `n` events.
+    #[inline]
     pub fn add(&mut self, n: u64) {
         self.0 = self.0.saturating_add(n);
     }

@@ -5,6 +5,7 @@ use arcane_core::{ArcaneConfig, ArcaneLlc, StandardLlc};
 use arcane_isa::asm::Asm;
 use arcane_mem::{Access, AccessSize, Bus, BusError, Memory, Sram};
 use arcane_rv32::{Coprocessor, Cpu, CpuError, NoCoprocessor, RunResult, XifResponse};
+use arcane_sim::EngineMode;
 use std::cell::RefCell;
 
 /// The paper's system: CV32E40X host + ARCANE smart LLC (Figure 1).
@@ -30,6 +31,7 @@ struct BusPort<'a>(&'a Shared);
 struct XifPort<'a>(&'a Shared);
 
 impl Bus for BusPort<'_> {
+    #[inline]
     fn read(&mut self, addr: u32, size: AccessSize, now: u64) -> Result<Access, BusError> {
         if (addr as usize) < IMEM_SIZE {
             let mut b = [0u8; 4];
@@ -43,6 +45,7 @@ impl Bus for BusPort<'_> {
             .host_access(addr, false, 0, size, now)
     }
 
+    #[inline]
     fn write(
         &mut self,
         addr: u32,
@@ -64,6 +67,7 @@ impl Bus for BusPort<'_> {
             .host_access(addr, true, value, size, now)
     }
 
+    #[inline]
     fn fetch(&mut self, addr: u32, _now: u64) -> Result<Access, BusError> {
         Ok(Access::new(self.0.imem.borrow().read_u32(addr)?, 1))
     }
@@ -110,15 +114,32 @@ impl ArcaneSoc {
         self.shared.llc.borrow()
     }
 
-    /// Runs the host program to completion.
+    /// Runs the host program to completion on the engine selected by
+    /// the environment (predecoded block stepping unless
+    /// `ARCANE_INTERP=1`).
     ///
     /// # Errors
     ///
     /// Propagates [`CpuError`] (bus faults, rejected offloads, …).
     pub fn run(&mut self, max_instrs: u64) -> Result<RunResult, CpuError> {
+        self.run_with_engine(max_instrs, EngineMode::current())
+    }
+
+    /// [`ArcaneSoc::run`] with an explicit engine choice (differential
+    /// testing of the two host-core engines in one process).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CpuError`] (bus faults, rejected offloads, …).
+    pub fn run_with_engine(
+        &mut self,
+        max_instrs: u64,
+        engine: EngineMode,
+    ) -> Result<RunResult, CpuError> {
         let mut bus = BusPort(&self.shared);
         let mut xif = XifPort(&self.shared);
-        self.cpu.run(&mut bus, &mut xif, max_instrs)
+        self.cpu
+            .run_with_engine(&mut bus, &mut xif, max_instrs, engine)
     }
 }
 
@@ -141,6 +162,7 @@ struct BaselineBus<'a> {
 }
 
 impl Bus for BaselineBus<'_> {
+    #[inline]
     fn read(&mut self, addr: u32, size: AccessSize, now: u64) -> Result<Access, BusError> {
         if (addr as usize) < IMEM_SIZE {
             let mut b = [0u8; 4];
@@ -151,6 +173,7 @@ impl Bus for BaselineBus<'_> {
         self.llc.host_access(addr, false, 0, size, now)
     }
 
+    #[inline]
     fn write(
         &mut self,
         addr: u32,
@@ -166,6 +189,7 @@ impl Bus for BaselineBus<'_> {
         self.llc.host_access(addr, true, value, size, now)
     }
 
+    #[inline]
     fn fetch(&mut self, addr: u32, _now: u64) -> Result<Access, BusError> {
         Ok(Access::new(self.imem.read_u32(addr)?, 1))
     }
@@ -203,17 +227,34 @@ impl BaselineSoc {
         &self.llc
     }
 
-    /// Runs the program to completion.
+    /// Runs the program to completion on the engine selected by the
+    /// environment (predecoded block stepping unless `ARCANE_INTERP=1`).
     ///
     /// # Errors
     ///
     /// Propagates [`CpuError`].
     pub fn run(&mut self, max_instrs: u64) -> Result<RunResult, CpuError> {
+        self.run_with_engine(max_instrs, EngineMode::current())
+    }
+
+    /// [`BaselineSoc::run`] with an explicit engine choice
+    /// (differential testing of the two host-core engines in one
+    /// process).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CpuError`].
+    pub fn run_with_engine(
+        &mut self,
+        max_instrs: u64,
+        engine: EngineMode,
+    ) -> Result<RunResult, CpuError> {
         let mut bus = BaselineBus {
             imem: &mut self.imem,
             llc: &mut self.llc,
         };
-        self.cpu.run(&mut bus, &mut NoCoprocessor, max_instrs)
+        self.cpu
+            .run_with_engine(&mut bus, &mut NoCoprocessor, max_instrs, engine)
     }
 }
 

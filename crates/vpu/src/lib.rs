@@ -13,7 +13,11 @@
 //! [`arcane_isa::vector::VInstr`] with wrapping two's-complement
 //! semantics and returns the datapath cycles from the lane-limited
 //! [`VpuTiming`] model. Results are bit-exact against the golden scalar
-//! models (property-tested).
+//! models (property-tested). Element-wise operations run as per-line
+//! batch kernels monomorphised per [`Sew`] over little-endian byte
+//! slices (the `batch` module) rather than element-at-a-time `i64`
+//! loops — the per-element width dispatch of the original interpreter
+//! was the dominant compute-phase cost of whole-sweep simulations.
 //!
 //! # Examples
 //!
@@ -38,6 +42,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod batch;
 
 use arcane_isa::vector::{Sr, VInstr, VOp, Vr};
 use arcane_sim::Sew;
@@ -171,6 +177,11 @@ pub struct Vpu {
     sregs: [u32; 32],
     vl: usize,
     sew: Sew,
+    /// Staging lines for the batch kernels: sources are copied here so
+    /// the destination line can be written in place even when an
+    /// instruction names the same register as source and destination.
+    scratch_a: Vec<u8>,
+    scratch_b: Vec<u8>,
 }
 
 impl Vpu {
@@ -183,6 +194,8 @@ impl Vpu {
             sregs: [0; 32],
             vl: cfg.max_vl(Sew::Word),
             sew: Sew::Word,
+            scratch_a: vec![0; cfg.vlen_bytes],
+            scratch_b: vec![0; cfg.vlen_bytes],
         }
     }
 
@@ -284,146 +297,145 @@ impl Vpu {
                 let d = self.check_vreg(vd)?;
                 let a = self.check_vreg(vs1)?;
                 let b = self.check_vreg(vs2)?;
-                let src1 = self.read_elems(a);
-                let src2 = self.read_elems(b);
-                self.apply_op(op, d, &src1, &src2);
+                self.stage_line(a, false);
+                self.stage_line(b, true);
+                self.batch_binary(op, d);
                 Ok(self.timing.elementwise(self.vl, self.sew))
             }
             VInstr::OpVX { op, vd, vs1, rs } => {
                 let d = self.check_vreg(vd)?;
                 let a = self.check_vreg(vs1)?;
                 let scalar = self.truncate(self.sregs[rs.index() as usize]);
-                let src1 = self.read_elems(a);
-                let src2 = vec![scalar; self.vl];
-                self.apply_op(op, d, &src1, &src2);
+                self.stage_line(a, false);
+                self.stage_splat(scalar);
+                self.batch_binary(op, d);
                 Ok(self.timing.elementwise(self.vl, self.sew))
             }
             VInstr::SlideDown { vd, vs1, offset } => {
                 let d = self.check_vreg(vd)?;
                 let a = self.check_vreg(vs1)?;
-                let src = self.read_elems_full(a);
+                let sz = self.sew.bytes();
+                let vlen = self.cfg.vlen_bytes;
                 let off = offset as usize;
-                let out: Vec<i64> = (0..self.vl)
-                    .map(|i| src.get(i + off).copied().unwrap_or(0))
-                    .collect();
-                self.write_elems(d, &out);
+                // Slides read the full register, so data beyond `vl+off`
+                // is still reachable; elements past the register end
+                // read as zero.
+                let n_copy = self.cfg.max_vl(self.sew).saturating_sub(off).min(self.vl);
+                let Vpu {
+                    data, scratch_a, ..
+                } = self;
+                scratch_a[..vlen].copy_from_slice(&data[a * vlen..(a + 1) * vlen]);
+                let dst = &mut data[d * vlen..d * vlen + self.vl * sz];
+                dst[..n_copy * sz].copy_from_slice(&scratch_a[off * sz..(off + n_copy) * sz]);
+                dst[n_copy * sz..].fill(0);
                 Ok(self.timing.elementwise(self.vl, self.sew))
             }
             VInstr::SlideUp { vd, vs1, offset } => {
                 let d = self.check_vreg(vd)?;
                 let a = self.check_vreg(vs1)?;
-                let src = self.read_elems(a);
+                let sz = self.sew.bytes();
+                let vlen = self.cfg.vlen_bytes;
                 let off = offset as usize;
-                let mut out = self.read_elems(d);
                 let n = self.vl.saturating_sub(off);
-                out[off..off + n].copy_from_slice(&src[..n]);
-                self.write_elems(d, &out);
+                let Vpu {
+                    data, scratch_a, ..
+                } = self;
+                scratch_a[..n * sz].copy_from_slice(&data[a * vlen..a * vlen + n * sz]);
+                data[d * vlen + off * sz..d * vlen + (off + n) * sz]
+                    .copy_from_slice(&scratch_a[..n * sz]);
                 Ok(self.timing.elementwise(self.vl, self.sew))
             }
             VInstr::BroadcastX { vd, rs } => {
                 let d = self.check_vreg(vd)?;
                 let scalar = self.truncate(self.sregs[rs.index() as usize]);
-                let out = vec![scalar; self.vl];
-                self.write_elems(d, &out);
+                let (vl, vlen) = (self.vl, self.cfg.vlen_bytes);
+                let nb = vl * self.sew.bytes();
+                let dst = &mut self.data[d * vlen..d * vlen + nb];
+                match self.sew {
+                    Sew::Byte => batch::splat::<i8>(vl, dst, scalar as i8),
+                    Sew::Half => batch::splat::<i16>(vl, dst, scalar as i16),
+                    Sew::Word => batch::splat::<i32>(vl, dst, scalar as i32),
+                }
                 Ok(self.timing.elementwise(self.vl, self.sew))
             }
             VInstr::Move { vd, vs1 } => {
                 let d = self.check_vreg(vd)?;
                 let a = self.check_vreg(vs1)?;
-                let src = self.read_elems(a);
-                self.write_elems(d, &src);
+                let vlen = self.cfg.vlen_bytes;
+                let nb = self.vl * self.sew.bytes();
+                self.data.copy_within(a * vlen..a * vlen + nb, d * vlen);
                 Ok(self.timing.elementwise(self.vl, self.sew))
             }
             VInstr::RedSum { vd, vs1 } => {
                 let d = self.check_vreg(vd)?;
                 let a = self.check_vreg(vs1)?;
-                let src = self.read_elems(a);
-                let sum = src
-                    .iter()
-                    .fold(0i64, |acc, &x| self.wrap(acc.wrapping_add(x)));
+                let sum = match self.sew {
+                    Sew::Byte => batch::red_sum::<i8>(self.vl, self.line(a)),
+                    Sew::Half => batch::red_sum::<i16>(self.vl, self.line(a)),
+                    Sew::Word => batch::red_sum::<i32>(self.vl, self.line(a)),
+                };
                 self.write_elem(d, 0, sum);
                 Ok(self.timing.reduction(self.vl, self.sew))
             }
             VInstr::RedMax { vd, vs1 } => {
                 let d = self.check_vreg(vd)?;
                 let a = self.check_vreg(vs1)?;
-                let src = self.read_elems(a);
-                let m = src.iter().copied().max().unwrap_or(self.type_min());
+                let m = match self.sew {
+                    Sew::Byte => batch::red_max::<i8>(self.vl, self.line(a)),
+                    Sew::Half => batch::red_max::<i16>(self.vl, self.line(a)),
+                    Sew::Word => batch::red_max::<i32>(self.vl, self.line(a)),
+                };
                 self.write_elem(d, 0, m);
                 Ok(self.timing.reduction(self.vl, self.sew))
             }
         }
     }
 
-    fn apply_op(&mut self, op: VOp, d: usize, a: &[i64], b: &[i64]) {
-        let out: Vec<i64> = match op {
-            VOp::Add => a.iter().zip(b).map(|(x, y)| self.wrap(x + y)).collect(),
-            VOp::Sub => a.iter().zip(b).map(|(x, y)| self.wrap(x - y)).collect(),
-            VOp::Mul => a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| self.wrap(x.wrapping_mul(*y)))
-                .collect(),
-            VOp::Macc => {
-                let acc = self.read_elems(d);
-                acc.iter()
-                    .zip(a.iter().zip(b))
-                    .map(|(c, (x, y))| self.wrap(c.wrapping_add(x.wrapping_mul(*y))))
-                    .collect()
-            }
-            VOp::Max => a.iter().zip(b).map(|(x, y)| *x.max(y)).collect(),
-            VOp::Min => a.iter().zip(b).map(|(x, y)| *x.min(y)).collect(),
-            VOp::Sll => a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| self.wrap((*x as u64).wrapping_shl(*y as u32) as i64))
-                .collect(),
-            VOp::Srl => a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| {
-                    let ux = (*x as u64) & self.mask();
-                    self.wrap((ux >> (*y as u32 % self.bits())) as i64)
-                })
-                .collect(),
-            VOp::Sra => a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| self.wrap(x >> (*y as u32 % self.bits())))
-                .collect(),
-            VOp::And => a.iter().zip(b).map(|(x, y)| self.wrap(x & y)).collect(),
-            VOp::Or => a.iter().zip(b).map(|(x, y)| self.wrap(x | y)).collect(),
-            VOp::Xor => a.iter().zip(b).map(|(x, y)| self.wrap(x ^ y)).collect(),
-        };
-        self.write_elems(d, &out);
+    /// Copies the active `vl · sew` bytes of `line` into one of the two
+    /// staging buffers (sources are staged so the destination can alias
+    /// either operand).
+    fn stage_line(&mut self, line: usize, second: bool) {
+        let vlen = self.cfg.vlen_bytes;
+        let nb = self.vl * self.sew.bytes();
+        let Vpu {
+            data,
+            scratch_a,
+            scratch_b,
+            ..
+        } = self;
+        let dst = if second { scratch_b } else { scratch_a };
+        dst[..nb].copy_from_slice(&data[line * vlen..line * vlen + nb]);
     }
 
-    const fn bits(&self) -> u32 {
-        (self.sew.bytes() * 8) as u32
-    }
-
-    const fn mask(&self) -> u64 {
+    /// Fills the second staging buffer with a broadcast scalar
+    /// (already truncated to the active width).
+    fn stage_splat(&mut self, scalar: i64) {
+        let vl = self.vl;
         match self.sew {
-            Sew::Byte => 0xff,
-            Sew::Half => 0xffff,
-            Sew::Word => 0xffff_ffff,
+            Sew::Byte => batch::splat::<i8>(vl, &mut self.scratch_b, scalar as i8),
+            Sew::Half => batch::splat::<i16>(vl, &mut self.scratch_b, scalar as i16),
+            Sew::Word => batch::splat::<i32>(vl, &mut self.scratch_b, scalar as i32),
         }
     }
 
-    fn type_min(&self) -> i64 {
-        match self.sew {
-            Sew::Byte => i8::MIN as i64,
-            Sew::Half => i16::MIN as i64,
-            Sew::Word => i32::MIN as i64,
-        }
-    }
-
-    /// Wraps an i64 into the signed range of the active element width.
-    fn wrap(&self, v: i64) -> i64 {
-        match self.sew {
-            Sew::Byte => v as i8 as i64,
-            Sew::Half => v as i16 as i64,
-            Sew::Word => v as i32 as i64,
+    /// Runs the monomorphised batch kernel for `op` over the staged
+    /// sources, writing destination line `d` in place.
+    fn batch_binary(&mut self, op: VOp, d: usize) {
+        let vlen = self.cfg.vlen_bytes;
+        let vl = self.vl;
+        let nb = vl * self.sew.bytes();
+        let sew = self.sew;
+        let Vpu {
+            data,
+            scratch_a,
+            scratch_b,
+            ..
+        } = self;
+        let dst = &mut data[d * vlen..d * vlen + nb];
+        match sew {
+            Sew::Byte => batch::binary::<i8>(op, vl, dst, scratch_a, scratch_b),
+            Sew::Half => batch::binary::<i16>(op, vl, dst, scratch_a, scratch_b),
+            Sew::Word => batch::binary::<i32>(op, vl, dst, scratch_a, scratch_b),
         }
     }
 
@@ -432,39 +444,6 @@ impl Vpu {
             Sew::Byte => v as u8 as i8 as i64,
             Sew::Half => v as u16 as i16 as i64,
             Sew::Word => v as i32 as i64,
-        }
-    }
-
-    fn read_elems(&self, line: usize) -> Vec<i64> {
-        self.read_n(line, self.vl)
-    }
-
-    /// Reads the whole register (used by slides so data beyond `vl+off`
-    /// is still reachable).
-    fn read_elems_full(&self, line: usize) -> Vec<i64> {
-        self.read_n(line, self.cfg.max_vl(self.sew))
-    }
-
-    fn read_n(&self, line: usize, n: usize) -> Vec<i64> {
-        let bytes = self.line(line);
-        (0..n)
-            .map(|i| {
-                let o = i * self.sew.bytes();
-                match self.sew {
-                    Sew::Byte => bytes[o] as i8 as i64,
-                    Sew::Half => i16::from_le_bytes([bytes[o], bytes[o + 1]]) as i64,
-                    Sew::Word => {
-                        i32::from_le_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]])
-                            as i64
-                    }
-                }
-            })
-            .collect()
-    }
-
-    fn write_elems(&mut self, line: usize, values: &[i64]) {
-        for (i, &v) in values.iter().enumerate() {
-            self.write_elem(line, i, v);
         }
     }
 
