@@ -1,5 +1,6 @@
 //! Static configuration of the ARCANE LLC subsystem.
 
+use crate::sched::SchedulerKind;
 use arcane_mem::DmaTiming;
 use arcane_vpu::VpuConfig;
 
@@ -91,6 +92,8 @@ pub struct ArcaneConfig {
     pub kernel_queue_capacity: usize,
     /// Capacity of the Address Table.
     pub at_capacity: usize,
+    /// Kernel Scheduler placement policy (DESIGN.md §4.4).
+    pub scheduler: SchedulerKind,
 }
 
 impl ArcaneConfig {
@@ -109,6 +112,7 @@ impl ArcaneConfig {
             crt: CrtTiming::default_tariff(),
             kernel_queue_capacity: 8,
             at_capacity: 32,
+            scheduler: SchedulerKind::LeastDirty,
         }
     }
 

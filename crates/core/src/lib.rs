@@ -67,9 +67,11 @@ mod config;
 pub mod kernels;
 mod llc;
 pub mod runtime;
+pub mod sched;
 mod standard;
 
 pub use config::{ArcaneConfig, CrtTiming};
 pub use llc::{ArcaneLlc, KernelRecord};
 pub use runtime::map::{MatView, MatrixMap};
+pub use sched::{SchedulerKind, SchedulerPolicy};
 pub use standard::StandardLlc;

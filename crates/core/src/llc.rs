@@ -7,9 +7,10 @@
 //!   lock and hazard stalls of §III-A;
 //! * it is a **coprocessor** — the [`Coprocessor`] implementation is the
 //!   bridge of §III-B: it samples offloaded `xmnmc` instructions,
-//!   decodes them in software (C-RT Kernel Decoder), schedules them on
-//!   the VPU with the fewest dirty lines (Kernel Scheduler) and runs
-//!   them through the Matrix Allocator and the vector units.
+//!   decodes them in software (C-RT Kernel Decoder), places them on a
+//!   VPU under the configured [`crate::sched::SchedulerPolicy`]
+//!   (Kernel Scheduler; least-dirty by default) and runs them through
+//!   the Matrix Allocator and the vector units.
 //!
 //! Co-simulation model: kernel *data* effects are applied eagerly in
 //! host program order, while kernel *time* is laid out on an absolute
@@ -25,6 +26,7 @@ use crate::config::ArcaneConfig;
 use crate::kernels::{KernelError, KernelLib, ResolvedArgs};
 use crate::runtime::ctx::KernelCtx;
 use crate::runtime::map::MatrixMap;
+use crate::sched::SchedView;
 use arcane_isa::xmnmc::{self, XmnmcOp};
 use arcane_mem::{Access, AccessSize, BusError, Dma2d, ExtMem, Memory};
 use arcane_rv32::{Coprocessor, XifResponse};
@@ -72,6 +74,8 @@ pub struct ArcaneLlc {
     ecpu_chan: ResourceChannel,
     /// `xmr` decode work folded into the next kernel's preamble phase.
     pending_preamble: u64,
+    /// Kernels scheduled so far (the round-robin rotation cursor).
+    sched_seq: u64,
     records: Vec<KernelRecord>,
     stats: CacheStats,
     last_error: Option<KernelError>,
@@ -100,6 +104,7 @@ impl ArcaneLlc {
             dma_chan: ResourceChannel::new(),
             ecpu_chan: ResourceChannel::new(),
             pending_preamble: 0,
+            sched_seq: 0,
             records: Vec::new(),
             stats: CacheStats::default(),
             last_error: None,
@@ -298,19 +303,29 @@ impl ArcaneLlc {
         Ok(cycles)
     }
 
-    /// Kernel Scheduler policy: the VPU with the fewest dirty lines,
-    /// breaking ties by earliest availability (§IV-B2).
-    fn choose_vpu(&self) -> usize {
+    /// Kernel Scheduler: snapshots per-VPU occupancy and delegates the
+    /// placement decision to the configured [`crate::sched::SchedulerPolicy`]
+    /// (§IV-B2; least-dirty by default, DESIGN.md §4.4 for the others).
+    fn choose_vpu(&mut self) -> usize {
         let vregs = self.cfg.vpu.vregs;
-        (0..self.cfg.n_vpus)
-            .min_by_key(|&v| {
+        let (dirty, free): (Vec<usize>, Vec<usize>) = (0..self.cfg.n_vpus)
+            .map(|v| {
                 (
                     self.table.dirty_in_range(v * vregs, (v + 1) * vregs),
-                    self.vpu_free_at[v],
-                    v,
+                    self.table.free_in_range(v * vregs, (v + 1) * vregs),
                 )
             })
-            .expect("at least one VPU")
+            .unzip();
+        let view = SchedView {
+            dirty_lines: &dirty,
+            free_lines: &free,
+            free_at: &self.vpu_free_at,
+            seq: self.sched_seq,
+        };
+        self.sched_seq += 1;
+        let vpu = self.cfg.scheduler.policy().choose(&view);
+        assert!(vpu < self.cfg.n_vpus, "policy chose a VPU out of range");
+        vpu
     }
 
     fn reject(&mut self, err: KernelError) -> XifResponse {
@@ -507,6 +522,29 @@ impl ArcaneLlc {
             writeback: None,
             cycles: host_cycles,
         }
+    }
+
+    /// Encodes and offloads one `xmnmc` instruction from its fields and
+    /// pre-packed operand-register values — the convenience entry
+    /// examples, tests and benches use to drive the LLC without
+    /// assembling a host program ([`xmnmc::pack_xmr`] /
+    /// [`xmnmc::pack_kernel`] produce `vals`).
+    pub fn offload_xmnmc(
+        &mut self,
+        func5: u8,
+        width: Sew,
+        vals: (u32, u32, u32),
+        now: u64,
+    ) -> XifResponse {
+        use arcane_isa::reg::{A0, A1, A2};
+        let raw = xmnmc::encode_raw(&xmnmc::XInstr {
+            func5,
+            width,
+            rs1: A0,
+            rs2: A1,
+            rs3: A2,
+        });
+        self.offload(raw, vals.0, vals.1, vals.2, now)
     }
 }
 

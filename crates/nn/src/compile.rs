@@ -1,0 +1,334 @@
+//! Graph → kernel-chain compiler: lowers a [`LayerGraph`] to the
+//! `xmnmc` instruction stream of a host program.
+//!
+//! Lowering follows the host-program idiom of the paper's Listing 1
+//! (and `arcane_system::programs::offload`): for every kernel the host
+//! materialises the three packed operand registers, issues the `xmr`
+//! reservations for the operands the kernel touches, then issues the
+//! `xmkN` itself. A fixed trio of logical matrix registers
+//! (`m0` = destination, `m1`/`m2` = sources) is rebound before every
+//! kernel — the C-RT's renaming gives each binding a fresh physical
+//! identity, so chained kernels keep their captured operands while the
+//! host moves on (§IV-B1).
+//!
+//! **Multi-VPU dispatch**: with [`CompileOptions::instances`] > 1 the
+//! compiler splits every row-parallel node (GeMM, residual add,
+//! requantise, LeakyReLU) into that many kernel invocations on disjoint
+//! row slices, and a depthwise convolution always fans out one `xmk3`
+//! per channel plane. The Kernel Scheduler then spreads the slices
+//! across VPU instances under the configured placement policy.
+
+use crate::graph::{LayerGraph, Node, TensorId};
+use crate::plan::{GraphLayout, Placement};
+use arcane_isa::asm::Asm;
+use arcane_isa::reg::{A0, A1, A2, T0, T1};
+use arcane_isa::rv32::LoadOp;
+use arcane_isa::xmnmc::{self, kernel_id, MatReg};
+use arcane_sim::Sew;
+
+/// Compiler knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Target number of kernel invocations per row-parallel node
+    /// (1 = one kernel per node; 2/4 = the multi-instance split of
+    /// §V-C applied to the whole graph).
+    pub instances: usize,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { instances: 1 }
+    }
+}
+
+/// A compiled graph: the host program plus its memory plan.
+#[derive(Debug)]
+pub struct NnProgram {
+    /// The assembled host program (load with `ArcaneSoc::load_program`).
+    pub asm: Asm,
+    /// Tensor placements backing the program's operand addresses.
+    pub layout: GraphLayout,
+    /// `xmkN` invocations emitted.
+    pub kernels: usize,
+    /// `xmr` reservations emitted.
+    pub reservations: usize,
+}
+
+/// Splits `total` rows into `n` (clamped to `total`) contiguous chunks,
+/// returned as `(first_row, n_rows)`, sizes differing by at most one.
+pub fn split_rows(total: usize, n: usize) -> Vec<(usize, usize)> {
+    let n = n.clamp(1, total);
+    let base = total / n;
+    let extra = total % n;
+    let mut out = Vec::with_capacity(n);
+    let mut y = 0;
+    for i in 0..n {
+        let len = base + usize::from(i < extra);
+        out.push((y, len));
+        y += len;
+    }
+    out
+}
+
+struct Emitter<'g> {
+    graph: &'g LayerGraph,
+    layout: GraphLayout,
+    asm: Asm,
+    sew: Sew,
+    esz: usize,
+    kernels: usize,
+    reservations: usize,
+}
+
+const MD: u8 = 0;
+const MS1: u8 = 1;
+const MS2: u8 = 2;
+
+fn m(i: u8) -> MatReg {
+    MatReg::new(i).expect("matrix register")
+}
+
+impl Emitter<'_> {
+    fn vals(&mut self, vals: (u32, u32, u32)) {
+        self.asm.li(A0, vals.0 as i32);
+        self.asm.li(A1, vals.1 as i32);
+        self.asm.li(A2, vals.2 as i32);
+    }
+
+    /// `xmr` binding `reg` to a dense `rows × cols` region at `addr`.
+    fn xmr(&mut self, reg: u8, addr: u32, rows: usize, cols: usize) {
+        assert!(
+            rows <= u16::MAX as usize && cols <= u16::MAX as usize,
+            "tensor dimension exceeds the xmr encoding"
+        );
+        self.vals(xmnmc::pack_xmr(addr, 1, m(reg), cols as u16, rows as u16));
+        self.asm.raw(xmnmc::xmr_instr(self.sew, A0, A1, A2));
+        self.reservations += 1;
+    }
+
+    /// Binds `reg` to a row slice `[y0, y0 + rows)` of a placement.
+    fn bind_slice(&mut self, reg: u8, p: Placement, y0: usize, rows: usize) {
+        self.xmr(reg, p.row_addr(y0, self.esz), rows, p.cols);
+    }
+
+    /// Binds `reg` to a whole tensor.
+    fn bind(&mut self, reg: u8, t: TensorId) {
+        let p = self.layout.place(t);
+        self.xmr(reg, p.addr, p.rows, p.cols);
+    }
+
+    /// `xmkN` on the currently bound registers.
+    fn xmk(&mut self, id: u8, alpha: i16, beta: i16) {
+        // Unused source slots name ms1 — always bound, never read.
+        self.vals(xmnmc::pack_kernel(
+            alpha,
+            beta,
+            m(MD),
+            m(MS1),
+            m(MS2),
+            m(MS1),
+        ));
+        self.asm.raw(xmnmc::xmk_instr(id, self.sew, A0, A1, A2));
+        self.kernels += 1;
+    }
+
+    /// Emits a row-parallel unary kernel (`input → dest`, same shape),
+    /// split into `instances` row slices.
+    fn unary_rowwise(
+        &mut self,
+        id: u8,
+        alpha: i16,
+        beta: i16,
+        input: TensorId,
+        dest: TensorId,
+        instances: usize,
+    ) {
+        let pi = self.layout.place(input);
+        let pd = self.layout.place(dest);
+        for (y0, rows) in split_rows(pd.rows, instances) {
+            self.bind_slice(MS1, pi, y0, rows);
+            self.bind_slice(MD, pd, y0, rows);
+            self.xmk(id, alpha, beta);
+        }
+    }
+
+    fn node(&mut self, node: &Node, instances: usize) {
+        match *node {
+            Node::Conv2d {
+                input,
+                filter,
+                dest,
+            } => {
+                self.bind(MS1, input);
+                self.bind(MS2, filter);
+                self.bind(MD, dest);
+                self.xmk(kernel_id::CONV2D, 0, 0);
+            }
+            Node::DepthwiseConv {
+                input,
+                filter,
+                channels,
+                dest,
+            } => {
+                let pi = self.layout.place(input);
+                let pf = self.layout.place(filter);
+                let pd = self.layout.place(dest);
+                let (h, k, oh) = (pi.rows / channels, pf.rows / channels, pd.rows / channels);
+                for c in 0..channels {
+                    self.bind_slice(MS1, pi, c * h, h);
+                    self.bind_slice(MS2, pf, c * k, k);
+                    self.bind_slice(MD, pd, c * oh, oh);
+                    self.xmk(kernel_id::CONV2D, 0, 0);
+                }
+            }
+            Node::Gemm { a, b, dest } => {
+                let pa = self.layout.place(a);
+                let pd = self.layout.place(dest);
+                self.bind(MS2, b);
+                for (y0, rows) in split_rows(pa.rows, instances) {
+                    self.bind_slice(MS1, pa, y0, rows);
+                    self.bind_slice(MD, pd, y0, rows);
+                    self.xmk(kernel_id::GEMM, 1, 0);
+                }
+            }
+            Node::ResidualAdd { a, b, dest } => {
+                let pa = self.layout.place(a);
+                let pb = self.layout.place(b);
+                let pd = self.layout.place(dest);
+                for (y0, rows) in split_rows(pd.rows, instances) {
+                    self.bind_slice(MS1, pa, y0, rows);
+                    self.bind_slice(MS2, pb, y0, rows);
+                    self.bind_slice(MD, pd, y0, rows);
+                    self.xmk(kernel_id::MAT_ADD, 0, 0);
+                }
+            }
+            Node::Requantise {
+                input,
+                mul,
+                shift,
+                dest,
+            } => self.unary_rowwise(kernel_id::MAT_SCALE, mul, shift, input, dest, instances),
+            Node::LeakyRelu { input, shift, dest } => {
+                self.unary_rowwise(kernel_id::LEAKY_RELU, shift, 0, input, dest, instances)
+            }
+            Node::MaxPool {
+                input,
+                win,
+                stride,
+                dest,
+            } => {
+                self.bind(MS1, input);
+                self.bind(MD, dest);
+                self.xmk(kernel_id::MAXPOOL, stride as i16, win as i16);
+            }
+            Node::Transpose { input, dest } => {
+                self.bind(MS1, input);
+                self.bind(MD, dest);
+                self.xmk(kernel_id::TRANSPOSE, 0, 0);
+            }
+        }
+    }
+}
+
+fn load_op(sew: Sew) -> LoadOp {
+    match sew {
+        Sew::Byte => LoadOp::Lb,
+        Sew::Half => LoadOp::Lh,
+        Sew::Word => LoadOp::Lw,
+    }
+}
+
+/// Compiles `graph` into a host program whose tensors live in an arena
+/// starting at `base`.
+///
+/// The emitted program issues the whole kernel chain, then performs one
+/// synchronising load of the first element of every output tensor —
+/// the Address Table stalls each load until the producing kernel's
+/// writeback retires (the paper's synchronisation idiom).
+///
+/// # Panics
+///
+/// Panics if the graph has no outputs or a tensor dimension exceeds
+/// the `xmr` encoding.
+pub fn compile(graph: &LayerGraph, base: u32, opts: &CompileOptions) -> NnProgram {
+    assert!(
+        !graph.outputs().is_empty(),
+        "graph needs at least one output"
+    );
+    assert!(opts.instances >= 1, "instances must be >= 1");
+    let layout = GraphLayout::plan(graph, base);
+    let mut e = Emitter {
+        graph,
+        layout,
+        asm: Asm::new(),
+        sew: graph.sew(),
+        esz: graph.sew().bytes(),
+        kernels: 0,
+        reservations: 0,
+    };
+    for node in graph.nodes() {
+        e.node(node, opts.instances);
+    }
+    // Synchronise on every output.
+    let op = load_op(e.sew);
+    for &out in e.graph.outputs() {
+        let addr = e.layout.place(out).addr;
+        e.asm.li(T0, addr as i32);
+        e.asm.load(op, T1, T0, 0);
+    }
+    e.asm.ebreak();
+    NnProgram {
+        asm: e.asm,
+        layout: e.layout,
+        kernels: e.kernels,
+        reservations: e.reservations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_rows_covers_total() {
+        for (total, n) in [(10, 4), (3, 4), (16, 1), (7, 7)] {
+            let s = split_rows(total, n);
+            assert_eq!(s.iter().map(|&(_, l)| l).sum::<usize>(), total);
+            assert!(s.iter().all(|&(_, l)| l > 0));
+            let mut y = 0;
+            for &(y0, l) in &s {
+                assert_eq!(y0, y);
+                y += l;
+            }
+        }
+    }
+
+    #[test]
+    fn instance_split_multiplies_gemm_kernels() {
+        let build = || {
+            let mut g = LayerGraph::new(Sew::Byte);
+            let x = g.input("x", 8, 8);
+            let w = g.input("w", 8, 8);
+            let y = g.gemm(x, w);
+            g.mark_output(y);
+            g
+        };
+        let g = build();
+        let one = compile(&g, 0x2000_0000, &CompileOptions { instances: 1 });
+        let four = compile(&g, 0x2000_0000, &CompileOptions { instances: 4 });
+        assert_eq!(one.kernels, 1);
+        assert_eq!(four.kernels, 4);
+        assert!(four.reservations > one.reservations);
+    }
+
+    #[test]
+    fn depthwise_fans_out_per_channel() {
+        let mut g = LayerGraph::new(Sew::Byte);
+        let x = g.input("x", 3 * 6, 6);
+        let f = g.input("f", 3 * 3, 3);
+        let y = g.depthwise_conv(x, f, 3);
+        g.mark_output(y);
+        let p = compile(&g, 0x2000_0000, &CompileOptions::default());
+        assert_eq!(p.kernels, 3);
+    }
+}

@@ -1,0 +1,146 @@
+//! End-to-end graph execution on the full ARCANE SoC.
+//!
+//! The runner seeds the graph's input tensors into external memory,
+//! loads the compiled host program, runs it on the instruction-set
+//! simulator (predecoded block engine by default, the reference
+//! interpreter under `ARCANE_INTERP=1`), and reads every output tensor
+//! back — mirroring `arcane_system::driver` for graph workloads.
+
+use crate::compile::{compile, CompileOptions, NnProgram};
+use crate::graph::LayerGraph;
+use arcane_core::{ArcaneConfig, KernelRecord};
+use arcane_mem::Memory;
+use arcane_sim::{EngineMode, PhaseBreakdown};
+use arcane_system::{ArcaneSoc, EXT_BASE};
+use arcane_workloads::Matrix;
+
+/// Simulation fuel: generous headroom for the largest graph programs.
+const FUEL: u64 = 4_000_000_000;
+
+/// Outcome of one graph run.
+#[derive(Debug, Clone)]
+pub struct GraphRunReport {
+    /// Total cycles (program start → last kernel writeback).
+    pub cycles: u64,
+    /// Host instructions retired.
+    pub instret: u64,
+    /// `xmkN` kernels executed.
+    pub kernels: usize,
+    /// Kernel phase breakdown summed over the chain.
+    pub phases: PhaseBreakdown,
+    /// Output tensors, in [`LayerGraph::outputs`] order.
+    pub outputs: Vec<Matrix>,
+    /// Per-kernel records (id, VPU placement, phase timing).
+    pub records: Vec<KernelRecord>,
+    /// `xmr` rebinds the C-RT resolved by renaming.
+    pub renames: u64,
+}
+
+impl GraphRunReport {
+    /// Number of kernels the scheduler placed on each VPU
+    /// (index = VPU instance).
+    pub fn kernels_per_vpu(&self, n_vpus: usize) -> Vec<usize> {
+        let mut per = vec![0usize; n_vpus];
+        for r in &self.records {
+            per[r.vpu] += 1;
+        }
+        per
+    }
+}
+
+/// Compiles and runs `graph` on an [`ArcaneSoc`] built from `cfg`,
+/// with an explicit engine choice (differential testing).
+///
+/// `inputs` seeds the graph's input tensors in declaration order.
+///
+/// # Panics
+///
+/// Panics if an input shape disagrees with its tensor, the host
+/// program faults (e.g. a rejected offload), or the run exhausts fuel.
+pub fn run_graph_with_engine(
+    cfg: ArcaneConfig,
+    graph: &LayerGraph,
+    inputs: &[Matrix],
+    opts: &CompileOptions,
+    engine: EngineMode,
+) -> GraphRunReport {
+    let sew = graph.sew();
+    let program: NnProgram = compile(graph, EXT_BASE, opts);
+    assert!(
+        (program.layout.end - EXT_BASE) as usize <= cfg.ext_size,
+        "graph arena exceeds external memory"
+    );
+
+    let mut soc = ArcaneSoc::new(cfg);
+    let input_ids = graph.inputs();
+    assert_eq!(
+        input_ids.len(),
+        inputs.len(),
+        "graph declares {} inputs, {} provided",
+        input_ids.len(),
+        inputs.len()
+    );
+    for (&id, mat) in input_ids.iter().zip(inputs) {
+        let p = program.layout.place(id);
+        assert_eq!(
+            (p.rows, p.cols),
+            (mat.rows(), mat.cols()),
+            "input shape mismatch for {}",
+            graph.tensor(id).name
+        );
+        soc.llc_mut()
+            .ext_mut()
+            .write_bytes(p.addr, &mat.to_bytes(sew))
+            .unwrap();
+    }
+
+    soc.load_program(&program.asm);
+    let run = match soc.run_with_engine(FUEL, engine) {
+        Ok(run) => run,
+        Err(e) => panic!(
+            "graph host program faulted: {e} (kernel error: {:?})",
+            soc.llc().last_error()
+        ),
+    };
+    assert_eq!(
+        run.stop,
+        arcane_rv32::StopReason::Break,
+        "graph program must run to completion (fuel?)"
+    );
+
+    let llc = soc.llc();
+    let mut outputs = Vec::with_capacity(graph.outputs().len());
+    for &out in graph.outputs() {
+        let p = program.layout.place(out);
+        let mut bytes = vec![0u8; p.bytes(sew.bytes())];
+        llc.ext().read_bytes(p.addr, &mut bytes).unwrap();
+        outputs.push(Matrix::from_bytes(p.rows, p.cols, sew, &bytes));
+    }
+    let records = llc.records().to_vec();
+    let phases = records
+        .iter()
+        .fold(PhaseBreakdown::default(), |acc, r| acc + r.phases);
+    GraphRunReport {
+        cycles: run.cycles.max(llc.completion_time()),
+        instret: run.instret,
+        kernels: records.len(),
+        phases,
+        outputs,
+        records,
+        renames: llc.renames(),
+    }
+}
+
+/// [`run_graph_with_engine`] on the environment-selected engine.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_graph_with_engine`].
+pub fn run_graph(
+    cfg: ArcaneConfig,
+    graph: &LayerGraph,
+    inputs: &[Matrix],
+    opts: &CompileOptions,
+) -> GraphRunReport {
+    run_graph_with_engine(cfg, graph, inputs, opts, EngineMode::current())
+}

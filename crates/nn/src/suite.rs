@@ -1,0 +1,254 @@
+//! The canned graph workloads of the evaluation: builders that pair a
+//! [`LayerGraph`] with deterministic inputs and the bit-exact golden
+//! outputs from `arcane_workloads`.
+
+use crate::compile::CompileOptions;
+use crate::graph::LayerGraph;
+use crate::run::{run_graph, GraphRunReport};
+use arcane_core::ArcaneConfig;
+use arcane_sim::Sew;
+use arcane_workloads::{self as workloads, Matrix};
+
+/// Requantisation shift used throughout the suite.
+pub const SHIFT: i16 = 2;
+/// LeakyReLU negative-slope shift used throughout the suite.
+pub const RELU_SHIFT: i16 = 3;
+/// Operand value range (small, keeps int8 numerically interesting).
+const RANGE: i64 = 4;
+
+/// A ready-to-run workload: graph + seeded inputs + golden outputs.
+#[derive(Debug, Clone)]
+pub struct BuiltGraph {
+    /// Workload label (reports, bench tables).
+    pub name: &'static str,
+    /// The layer graph.
+    pub graph: LayerGraph,
+    /// Input matrices in declaration order.
+    pub inputs: Vec<Matrix>,
+    /// Expected output matrices in [`LayerGraph::outputs`] order.
+    pub golden: Vec<Matrix>,
+}
+
+impl BuiltGraph {
+    /// Runs the workload on `cfg` with `instances`-way kernel splitting
+    /// and verifies every output bit-exactly against the golden model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any output mismatch or host fault.
+    pub fn run_verified(&self, cfg: ArcaneConfig, instances: usize) -> GraphRunReport {
+        let report = run_graph(
+            cfg,
+            &self.graph,
+            &self.inputs,
+            &CompileOptions { instances },
+        );
+        assert_eq!(
+            report.outputs.len(),
+            self.golden.len(),
+            "{}: output count",
+            self.name
+        );
+        for (i, (got, want)) in report.outputs.iter().zip(&self.golden).enumerate() {
+            assert_eq!(
+                got, want,
+                "{}: output {i} diverges from the golden model (instances={instances})",
+                self.name
+            );
+        }
+        report
+    }
+}
+
+/// The depthwise-separable conv layer: depthwise conv over `channels`
+/// planes, 1×1 pointwise mix as a GeMM over the flattened planes,
+/// requantise, LeakyReLU.
+///
+/// # Panics
+///
+/// Panics if a flattened conv plane would exceed the 1 KiB vector
+/// length (keep `(h-k+1)·(w-k+1)·esz ≤ 1024`).
+pub fn depthwise_separable(h: usize, w: usize, k: usize, sew: Sew, seed: u64) -> BuiltGraph {
+    let channels = 3;
+    let (oh, ow) = (h - k + 1, w - k + 1);
+    assert!(
+        oh * ow * sew.bytes() <= 1024,
+        "pointwise GeMM rows must fit one vector register"
+    );
+    let mut rng = workloads::rng(seed);
+    let a = workloads::random_matrix(&mut rng, channels * h, w, sew, RANGE);
+    let f = workloads::random_matrix(&mut rng, channels * k, k, sew, RANGE);
+    let pw = workloads::random_matrix(&mut rng, 1, channels, sew, RANGE);
+
+    let mut g = LayerGraph::new(sew);
+    let x = g.input("x", channels * h, w);
+    let fd = g.input("f_dw", channels * k, k);
+    let wp = g.input("w_pw", 1, channels);
+    let dw = g.depthwise_conv(x, fd, channels);
+    let planes = g.view(dw, channels, oh * ow);
+    let mixed = g.gemm(wp, planes);
+    let q = g.requantise(mixed, 1, SHIFT);
+    let y = g.leaky_relu(q, RELU_SHIFT);
+    g.mark_output(y);
+
+    let golden = workloads::depthwise_separable_layer(
+        &a,
+        &f,
+        &pw,
+        channels,
+        SHIFT as u32,
+        RELU_SHIFT as u32,
+        sew,
+    );
+    BuiltGraph {
+        name: "depthwise_separable",
+        graph: g,
+        inputs: vec![a, f, pw],
+        golden: vec![golden],
+    }
+}
+
+/// The residual bottleneck with requantise fusion: two GeMMs, each
+/// requantised, a LeakyReLU between them, and the residual add.
+pub fn residual_bottleneck(n: usize, d: usize, sew: Sew, seed: u64) -> BuiltGraph {
+    let mut rng = workloads::rng(seed);
+    let x = workloads::random_matrix(&mut rng, n, d, sew, RANGE);
+    let w1 = workloads::random_matrix(&mut rng, d, d, sew, RANGE);
+    let w2 = workloads::random_matrix(&mut rng, d, d, sew, RANGE);
+
+    let mut g = LayerGraph::new(sew);
+    let tx = g.input("x", n, d);
+    let tw1 = g.input("w1", d, d);
+    let tw2 = g.input("w2", d, d);
+    let h = g.gemm(tx, tw1);
+    let hq = g.requantise(h, 1, SHIFT);
+    let ha = g.leaky_relu(hq, RELU_SHIFT);
+    let y = g.gemm(ha, tw2);
+    let yq = g.requantise(y, 1, SHIFT);
+    let out = g.residual_add(tx, yq);
+    g.mark_output(out);
+
+    let golden = workloads::residual_bottleneck(&x, &w1, &w2, SHIFT as u32, RELU_SHIFT as u32, sew);
+    BuiltGraph {
+        name: "residual_bottleneck",
+        graph: g,
+        inputs: vec![x, w1, w2],
+        golden: vec![golden],
+    }
+}
+
+/// The int8 transformer encoder block: ReLU-attention with residual,
+/// then the two-GeMM MLP with residual — a 16-node graph that lowers
+/// to the longest kernel chain in the tree.
+pub fn transformer_block(t: usize, d: usize, f: usize, sew: Sew, seed: u64) -> BuiltGraph {
+    let mut rng = workloads::rng(seed);
+    let x = workloads::random_matrix(&mut rng, t, d, sew, RANGE);
+    let wq = workloads::random_matrix(&mut rng, d, d, sew, RANGE);
+    let wk = workloads::random_matrix(&mut rng, d, d, sew, RANGE);
+    let wv = workloads::random_matrix(&mut rng, d, d, sew, RANGE);
+    let w1 = workloads::random_matrix(&mut rng, d, f, sew, RANGE);
+    let w2 = workloads::random_matrix(&mut rng, f, d, sew, RANGE);
+
+    let mut g = LayerGraph::new(sew);
+    let tx = g.input("x", t, d);
+    let twq = g.input("wq", d, d);
+    let twk = g.input("wk", d, d);
+    let twv = g.input("wv", d, d);
+    let tw1 = g.input("w1", d, f);
+    let tw2 = g.input("w2", f, d);
+    let y = g.transformer_block(tx, twq, twk, twv, tw1, tw2, SHIFT, RELU_SHIFT);
+    g.mark_output(y);
+
+    let golden = workloads::transformer_encoder_block(
+        &x,
+        &wq,
+        &wk,
+        &wv,
+        &w1,
+        &w2,
+        SHIFT as u32,
+        RELU_SHIFT as u32,
+        sew,
+    );
+    BuiltGraph {
+        name: "transformer_block",
+        graph: g,
+        inputs: vec![x, wq, wk, wv, w1, w2],
+        golden: vec![golden],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(lanes: usize) -> ArcaneConfig {
+        ArcaneConfig::with_lanes(lanes)
+    }
+
+    #[test]
+    fn depthwise_separable_runs_bit_exact() {
+        let b = depthwise_separable(10, 10, 3, Sew::Byte, 7);
+        let r = b.run_verified(cfg(8), 1);
+        // 3 channel convs + pointwise GeMM + requant + relu.
+        assert_eq!(r.kernels, 6);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn residual_bottleneck_runs_bit_exact_all_widths() {
+        for sew in Sew::ALL {
+            let b = residual_bottleneck(8, 12, sew, 3);
+            let r = b.run_verified(cfg(8), 1);
+            assert_eq!(r.kernels, 6, "{sew}");
+        }
+    }
+
+    #[test]
+    fn transformer_block_runs_bit_exact() {
+        let b = transformer_block(8, 12, 16, Sew::Byte, 5);
+        let r = b.run_verified(cfg(8), 1);
+        assert_eq!(r.kernels, 16);
+        assert!(r.renames > 0, "chain must exercise renaming");
+    }
+
+    #[test]
+    fn conv2d_and_maxpool_nodes_run_bit_exact() {
+        // The canned workloads never emit Conv2d or MaxPool nodes; this
+        // pins their lowering (operand binding order, α/β packing of
+        // stride/window) end-to-end against the golden models.
+        let sew = Sew::Byte;
+        let mut rng = workloads::rng(31);
+        let a = workloads::random_matrix(&mut rng, 12, 12, sew, RANGE);
+        let f = workloads::random_matrix(&mut rng, 3, 3, sew, RANGE);
+        let mut g = LayerGraph::new(sew);
+        let ta = g.input("a", 12, 12);
+        let tf = g.input("f", 3, 3);
+        let c = g.conv2d(ta, tf);
+        let p = g.maxpool(c, 3, 2);
+        let t = g.transpose(p);
+        g.mark_output(t);
+        let conv = workloads::conv2d(&a, &f, sew);
+        let want = workloads::transpose(&workloads::maxpool(&conv, 3, 2));
+        let built = BuiltGraph {
+            name: "conv_maxpool",
+            graph: g,
+            inputs: vec![a, f],
+            golden: vec![want],
+        };
+        let r = built.run_verified(cfg(4), 1);
+        assert_eq!(r.kernels, 3);
+    }
+
+    #[test]
+    fn instance_split_is_bit_exact_and_spreads_vpus() {
+        let b = residual_bottleneck(16, 16, Sew::Byte, 9);
+        let r = b.run_verified(cfg(8), 4);
+        assert!(r.kernels > 6, "splitting must emit more kernels");
+        let per = r.kernels_per_vpu(4);
+        assert!(
+            per.iter().filter(|&&n| n > 0).count() > 1,
+            "kernels must land on more than one VPU: {per:?}"
+        );
+    }
+}

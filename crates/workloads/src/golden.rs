@@ -213,6 +213,134 @@ pub fn transpose(a: &Matrix) -> Matrix {
     r
 }
 
+/// Depthwise valid 2-D convolution over `channels` stacked planes: each
+/// input plane is convolved with **its own** filter plane, with no
+/// cross-channel sum (the first half of a depthwise-separable layer).
+///
+/// `a` stacks the planes row-wise (`C·H × W`); `f` stacks the `K × K`
+/// filter planes row-wise (`C·K × K`). The output stacks the per-channel
+/// conv planes row-wise (`C·H' × W'`).
+///
+/// # Panics
+///
+/// Panics on inconsistent plane geometry.
+pub fn depthwise_conv(a: &Matrix, f: &Matrix, channels: usize, sew: Sew) -> Matrix {
+    assert!(channels > 0, "at least one channel");
+    assert_eq!(a.rows() % channels, 0, "input must stack C planes");
+    assert_eq!(f.rows(), channels * f.cols(), "filter must stack C planes");
+    let h = a.rows() / channels;
+    let k = f.cols();
+    let (oh, ow) = (h - k + 1, a.cols() - k + 1);
+    let mut out = Matrix::zero(channels * oh, ow);
+    for c in 0..channels {
+        let plane = conv2d(&a.row_slice(c * h, h), &f.row_slice(c * k, k), sew);
+        for y in 0..oh {
+            for x in 0..ow {
+                out.set(c * oh + y, x, plane.get(y, x));
+            }
+        }
+    }
+    out
+}
+
+/// Golden model of the depthwise-separable conv layer graph: depthwise
+/// conv, 1×1 pointwise mix (`pw`: `C_out × C` weights applied by GeMM
+/// over the flattened conv planes), scale-shift requantisation, then
+/// LeakyReLU. Output is `C_out × (H'·W')`.
+///
+/// # Panics
+///
+/// Panics on inconsistent geometry.
+pub fn depthwise_separable_layer(
+    a: &Matrix,
+    f: &Matrix,
+    pw: &Matrix,
+    channels: usize,
+    shift: u32,
+    relu_shift: u32,
+    sew: Sew,
+) -> Matrix {
+    let dw = depthwise_conv(a, f, channels, sew);
+    let plane_elems = (dw.rows() / channels) * dw.cols();
+    let planes = dw.reshape(channels, plane_elems);
+    let mixed = gemm(pw, &planes, None, 1, 0, sew);
+    let q = mat_scale(&mixed, 1, shift, sew);
+    leaky_relu(&q, relu_shift, sew)
+}
+
+/// Golden model of the residual bottleneck graph with requantise
+/// fusion: `Y = X + requant(GeMM(relu(requant(GeMM(X·W1)))·W2))` —
+/// two GeMMs, each followed by a scale-shift requantisation, a
+/// shift-LeakyReLU between them, and the residual add at the end.
+///
+/// # Panics
+///
+/// Panics on inconsistent shapes.
+pub fn residual_bottleneck(
+    x: &Matrix,
+    w1: &Matrix,
+    w2: &Matrix,
+    shift: u32,
+    relu_shift: u32,
+    sew: Sew,
+) -> Matrix {
+    let h = gemm(x, w1, None, 1, 0, sew);
+    let hq = mat_scale(&h, 1, shift, sew);
+    let ha = leaky_relu(&hq, relu_shift, sew);
+    let y = gemm(&ha, w2, None, 1, 0, sew);
+    let yq = mat_scale(&y, 1, shift, sew);
+    mat_add(x, &yq, sew)
+}
+
+/// Golden model of the int8 transformer encoder block graph
+/// (ReLU-attention formulation — the quantised-integer surrogate for
+/// softmax, so the whole block stays inside the Table I kernel set):
+///
+/// ```text
+/// Q = X·Wq   K = X·Wk   V = X·Wv
+/// A = relu(requant(Q·Kᵀ))          attention scores
+/// X₁ = X + requant(A·V)            attention + residual
+/// H = relu(requant(X₁·W1))         MLP up-projection
+/// Y = X₁ + requant(H·W2)           MLP down-projection + residual
+/// ```
+///
+/// `x` is `T × D`; `wq`/`wk`/`wv` are `D × D`; `w1` is `D × F` and
+/// `w2` is `F × D`. Everything wraps at `sew` exactly like the VPU
+/// datapath.
+///
+/// # Panics
+///
+/// Panics on inconsistent shapes.
+#[allow(clippy::too_many_arguments)]
+pub fn transformer_encoder_block(
+    x: &Matrix,
+    wq: &Matrix,
+    wk: &Matrix,
+    wv: &Matrix,
+    w1: &Matrix,
+    w2: &Matrix,
+    shift: u32,
+    relu_shift: u32,
+    sew: Sew,
+) -> Matrix {
+    let q = gemm(x, wq, None, 1, 0, sew);
+    let k = gemm(x, wk, None, 1, 0, sew);
+    let v = gemm(x, wv, None, 1, 0, sew);
+    let kt = transpose(&k);
+    let s = gemm(&q, &kt, None, 1, 0, sew);
+    let sq = mat_scale(&s, 1, shift, sew);
+    let a = leaky_relu(&sq, relu_shift, sew);
+    let p = gemm(&a, &v, None, 1, 0, sew);
+    let pq = mat_scale(&p, 1, shift, sew);
+    let x1 = mat_add(x, &pq, sew);
+    let h = gemm(&x1, w1, None, 1, 0, sew);
+    let hq = mat_scale(&h, 1, shift, sew);
+    let ha = leaky_relu(&hq, relu_shift, sew);
+    let y = gemm(&ha, w2, None, 1, 0, sew);
+    let yq = mat_scale(&y, 1, shift, sew);
+    mat_add(&x1, &yq, sew)
+}
+
 fn conv_sum_3ch(a: &Matrix, f: &Matrix, sew: Sew) -> Matrix {
     assert_eq!(a.rows() % 3, 0, "input must stack 3 planes");
     assert_eq!(f.rows(), 3 * f.cols(), "filter must stack 3 square planes");
@@ -310,6 +438,38 @@ mod tests {
         let r = conv_layer_3ch(&a, &f, Sew::Word);
         assert_eq!((r.rows(), r.cols()), (1, 1));
         assert_eq!(r.get(0, 0), 27);
+    }
+
+    #[test]
+    fn depthwise_is_per_channel_conv() {
+        let mut rng = crate::rng(11);
+        let a = crate::random_matrix(&mut rng, 3 * 6, 6, Sew::Byte, 4);
+        let f = crate::random_matrix(&mut rng, 3 * 3, 3, Sew::Byte, 4);
+        let got = depthwise_conv(&a, &f, 3, Sew::Byte);
+        assert_eq!((got.rows(), got.cols()), (3 * 4, 4));
+        for c in 0..3 {
+            let want = conv2d(&a.row_slice(c * 6, 6), &f.row_slice(c * 3, 3), Sew::Byte);
+            assert_eq!(got.row_slice(c * 4, 4), want, "channel {c}");
+        }
+    }
+
+    #[test]
+    fn transformer_block_shape_and_identity_weights() {
+        // With zero weights every GeMM output is zero, requant/relu keep
+        // it zero, and both residual adds pass X through unchanged.
+        let x = Matrix::from_values(2, 3, &[1, -2, 3, 4, -5, 6]);
+        let z3 = Matrix::zero(3, 3);
+        let z34 = Matrix::zero(3, 4);
+        let z43 = Matrix::zero(4, 3);
+        let y = transformer_encoder_block(&x, &z3, &z3, &z3, &z34, &z43, 2, 3, Sew::Byte);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn residual_bottleneck_zero_weights_is_identity() {
+        let x = Matrix::from_values(2, 2, &[7, -8, 9, -10]);
+        let z = Matrix::zero(2, 2);
+        assert_eq!(residual_bottleneck(&x, &z, &z, 1, 2, Sew::Byte), x);
     }
 
     #[test]

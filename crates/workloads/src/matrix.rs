@@ -130,6 +130,23 @@ impl Matrix {
         m
     }
 
+    /// A copy of this matrix with its row-major data refactored as
+    /// `rows × cols` — the golden-model counterpart of a layer graph's
+    /// `View` (which on the device is zero-copy; here the copy keeps
+    /// `Matrix` a plain value type).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` differs from the element count.
+    pub fn reshape(&self, rows: usize, cols: usize) -> Matrix {
+        assert_eq!(rows * cols, self.data.len(), "reshape element count");
+        Matrix {
+            rows,
+            cols,
+            data: self.data.clone(),
+        }
+    }
+
     /// A view of rows `[r0, r0 + n)` as a new matrix.
     ///
     /// # Panics

@@ -15,6 +15,8 @@
 //! * [`core`] — **the ARCANE LLC**: cache controller, Address Table,
 //!   hazards, bridge, C-RT runtime and the kernel library
 //! * [`system`] — X-HEEP system assemblies, workload programs, driver
+//! * [`nn`] — the int8 layer-graph runtime: graph IR → multi-VPU
+//!   kernel-chain programs with pluggable scheduler policies
 //! * [`workloads`] — generators and golden reference kernels
 //! * [`area`] — 65 nm area / peak-throughput models (Table II, Fig. 2)
 //!
@@ -40,6 +42,7 @@ pub use arcane_area as area;
 pub use arcane_core as core;
 pub use arcane_isa as isa;
 pub use arcane_mem as mem;
+pub use arcane_nn as nn;
 pub use arcane_rv32 as rv32;
 pub use arcane_sim as sim;
 pub use arcane_system as system;

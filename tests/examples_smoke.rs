@@ -1,4 +1,4 @@
-//! Smoke tests that exercise the main path of each of the five
+//! Smoke tests that exercise the main path of each of the six
 //! `examples/` programs at small problem sizes, so the examples cannot
 //! silently rot: every API call they demonstrate is replayed here
 //! (same call sequence, smaller shapes) and checked for the same
@@ -286,6 +286,40 @@ fn mlp_layer_main_path() {
     let got = Matrix::from_bytes(batch, d_out, sew, &out);
     assert_eq!(got, want, "MLP chain result");
     assert_eq!(llc.records().len(), 4);
+}
+
+/// `examples/graph_inference.rs`: the three `arcane-nn` layer graphs
+/// compiled to kernel chains, swept over the scheduler-policy ×
+/// VPU-count grid with bit-exact verification on every cell.
+#[test]
+fn graph_inference_main_path() {
+    use arcane::core::SchedulerKind;
+    use arcane::nn::suite;
+
+    let dws = suite::depthwise_separable(10, 10, 3, Sew::Byte, 11);
+    let res = suite::residual_bottleneck(8, 12, Sew::Byte, 12);
+    let xfm = suite::transformer_block(8, 12, 16, Sew::Byte, 13);
+    for block in [&dws, &res, &xfm] {
+        for n_vpus in [1usize, 4] {
+            for scheduler in SchedulerKind::ALL {
+                let mut cfg = ArcaneConfig::with_lanes(8);
+                cfg.n_vpus = n_vpus;
+                cfg.scheduler = scheduler;
+                let r = block.run_verified(cfg, n_vpus);
+                assert!(r.cycles > 0, "{}: {scheduler} x{n_vpus}", block.name);
+                assert_eq!(
+                    r.kernels_per_vpu(n_vpus).iter().sum::<usize>(),
+                    r.kernels,
+                    "{}: every kernel placed",
+                    block.name
+                );
+            }
+        }
+    }
+    // The chain-detail section of the example: records carry placement.
+    let r = xfm.run_verified(ArcaneConfig::with_lanes(8), 1);
+    assert!(r.records.iter().all(|rec| rec.end > rec.decode_start));
+    assert!(r.renames > 0);
 }
 
 /// `examples/cnn_layer.rs`: the 7×7-filter CNN front-end sweep, with
