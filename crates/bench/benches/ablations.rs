@@ -57,7 +57,9 @@ fn dma_bandwidth_ablation() {
     let p = ConvLayerParams::new(64, 64, 3, Sew::Word);
     for bw in [2u64, 4, 8, 16] {
         let mut cfg = ArcaneConfig::with_lanes(8);
-        cfg.dma.bytes_per_cycle = bw;
+        // The shared-path width is a fabric parameter; the LLC derives
+        // the DMA payload bandwidth from it.
+        cfg.fabric.bytes_per_cycle = bw;
         let r = run_arcane_conv_with(cfg, &p, 1);
         let ph = r.phases.unwrap();
         println!(
@@ -142,86 +144,54 @@ fn scheduler_policy_ablation() {
     scheduler_mixed_traffic_ablation();
 }
 
-/// Mixed host/kernel traffic: the host dirties the first VPU's cache
-/// lines between offloads, so placement policy changes how many forced
-/// writebacks each kernel's allocation pays — the scenario the paper's
-/// least-dirty heuristic was designed for (§IV-B2).
+/// Mixed host/kernel traffic, generated from a graph program: the
+/// `host_traffic` compiler knob makes the transformer-block host
+/// program dirty a line-strided scratch window between offloads, so
+/// placement policy changes how many forced writebacks each kernel's
+/// allocation pays — the scenario the paper's least-dirty heuristic
+/// was designed for (§IV-B2), previously hand-rolled here.
 fn scheduler_mixed_traffic_ablation() {
-    use arcane_core::ArcaneLlc;
-    use arcane_isa::xmnmc::{self, kernel_id, MatReg, FUNC5_XMR};
-    use arcane_mem::{AccessSize, Memory};
-    use arcane_rv32::XifResponse;
+    use arcane_nn::{CompileOptions, HostTraffic};
 
-    let run = |scheduler: SchedulerKind| -> (u64, u64) {
-        let mut cfg = ArcaneConfig::with_lanes(8);
-        cfg.scheduler = scheduler;
-        let mut llc = ArcaneLlc::new(cfg);
-        let base = 0x2000_0000u32;
-        let m = |i: u8| MatReg::new(i).unwrap();
-        let offload = |llc: &mut ArcaneLlc, f: u8, vals: (u32, u32, u32), t: u64| match llc
-            .offload_xmnmc(f, Sew::Word, vals, t)
-        {
-            XifResponse::Accept { .. } => {}
-            XifResponse::Reject => panic!("offload rejected: {:?}", llc.last_error()),
-        };
-        // Host working set: dirty ~24 lines (they land on VPU 0's
-        // registers — the LRU fills the table from line 0).
-        let mut t = 0u64;
-        for i in 0..24u32 {
-            let a = llc
-                .host_access(base + 0x8_0000 + i * 1024, true, i, AccessSize::Word, t)
-                .unwrap();
-            t += a.cycles;
-        }
-        // Seed 8 small independent ReLU workloads and chain them.
-        for i in 0..(8 * 16 * 16) as u32 {
-            llc.ext_mut().write_u32(base + i * 4, i % 97).unwrap();
-        }
-        for j in 0..8u32 {
-            let src = base + j * 16 * 16 * 4;
-            let dst = base + 0x4_0000 + j * 16 * 16 * 4;
-            offload(
-                &mut llc,
-                FUNC5_XMR,
-                xmnmc::pack_xmr(src, 1, m(0), 16, 16),
-                t,
-            );
-            t += 20;
-            offload(
-                &mut llc,
-                FUNC5_XMR,
-                xmnmc::pack_xmr(dst, 1, m(1), 16, 16),
-                t,
-            );
-            t += 20;
-            offload(
-                &mut llc,
-                kernel_id::LEAKY_RELU,
-                xmnmc::pack_kernel(3, 0, m(1), m(0), m(0), m(0)),
-                t,
-            );
-            t += 20;
-        }
-        let wbs = llc.stats().writebacks.get();
-        (llc.completion_time(), wbs)
+    let (t, d, f) = if arcane_bench::fast_mode() {
+        (12, 16, 24)
+    } else {
+        (16, 24, 32)
     };
-
-    println!("\n-- mixed host/kernel traffic (24 host-dirtied lines + 8 ReLU kernels) --");
+    let graph = suite::transformer_block(t, d, f, Sew::Byte, 44);
+    let traffic = HostTraffic::new(2, 24 * 1024);
+    let opts = CompileOptions {
+        instances: 1,
+        host_traffic: Some(traffic),
+    };
+    let prog = arcane_nn::compile(&graph.graph, arcane_system::EXT_BASE, &opts);
+    println!(
+        "\n-- mixed host/kernel traffic (transformer graph, {} KiB dirtied every {} kernels,",
+        traffic.bytes / 1024,
+        traffic.period
+    );
+    println!(
+        "   {} host stores injected by the compiler) --",
+        prog.host_stores
+    );
     println!(
         "{:>14} {:>16} {:>14}",
         "policy", "total cycles", "writebacks"
     );
     for scheduler in SchedulerKind::ALL {
-        let (cycles, wbs) = run(scheduler);
+        let mut cfg = ArcaneConfig::with_lanes(8);
+        cfg.scheduler = scheduler;
+        let r = graph.run_verified_with(cfg, &opts);
         println!(
             "{:>14} {:>16} {:>14}",
             scheduler.name(),
-            arcane_bench::fmt_cycles(cycles),
-            wbs
+            arcane_bench::fmt_cycles(r.cycles),
+            r.writebacks,
         );
     }
-    println!("expectation: least-dirty and most-free dodge the host-dirtied VPU and");
-    println!("pay no forced writebacks; the oblivious rotation walks into it.");
+    println!("expectation: least-dirty steers kernels away from host-dirtied VPUs and");
+    println!("pays the fewest forced writebacks; the oblivious rotation walks into");
+    println!("them. Same graph, same golden outputs — only placement differs.");
 }
 
 fn bench(c: &mut Criterion) {

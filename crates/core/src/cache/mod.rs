@@ -2,11 +2,14 @@
 //! Address Table and the controller lock.
 
 mod at;
-mod channel;
 mod locks;
 mod table;
 
 pub use at::{AddressTable, AtEntry, AtFull, OperandKind};
-pub use channel::ResourceChannel;
+// The gap-scheduling calendar moved into `arcane-fabric` (the fabric
+// banks and the eCPU are booked on the same structure); re-exported
+// here so existing `arcane_core::cache::ResourceChannel` users keep
+// working.
+pub use arcane_fabric::ResourceChannel;
 pub use locks::LockWindows;
 pub use table::{CacheTable, LineState, Victim};

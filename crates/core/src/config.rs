@@ -1,6 +1,7 @@
 //! Static configuration of the ARCANE LLC subsystem.
 
 use crate::sched::SchedulerKind;
+use arcane_fabric::FabricConfig;
 use arcane_mem::DmaTiming;
 use arcane_vpu::VpuConfig;
 
@@ -84,8 +85,16 @@ pub struct ArcaneConfig {
     pub ext_first_word: u64,
     /// External memory latency: subsequent words of a burst.
     pub ext_per_word: u64,
-    /// DMA engine timing.
+    /// DMA engine timing (`setup`, `per_row`). The payload bandwidth
+    /// of the shared path is owned by [`ArcaneConfig::fabric`]:
+    /// [`crate::ArcaneLlc`] overrides `dma.bytes_per_cycle` with
+    /// `fabric.bytes_per_cycle` at construction, so the DMA-bandwidth
+    /// ablation is a fabric configuration, not a scalar here.
     pub dma: DmaTiming,
+    /// Shared-memory fabric between the controller complex and the
+    /// VPU array: bank/width geometry and the arbiter policy
+    /// (DESIGN.md §4.5).
+    pub fabric: FabricConfig,
     /// C-RT software cycle tariff.
     pub crt: CrtTiming,
     /// Capacity of the statically allocated kernel queue.
@@ -109,6 +118,7 @@ impl ArcaneConfig {
             ext_first_word: 10,
             ext_per_word: 1,
             dma: DmaTiming::default(),
+            fabric: FabricConfig::default_config(),
             crt: CrtTiming::default_tariff(),
             kernel_queue_capacity: 8,
             at_capacity: 32,

@@ -27,10 +27,11 @@ use crate::kernels::{KernelError, KernelLib, ResolvedArgs};
 use crate::runtime::ctx::KernelCtx;
 use crate::runtime::map::MatrixMap;
 use crate::sched::SchedView;
+use arcane_fabric::{Fabric, PortStats, HOST_PORT};
 use arcane_isa::xmnmc::{self, XmnmcOp};
 use arcane_mem::{Access, AccessSize, BusError, Dma2d, ExtMem, Memory};
 use arcane_rv32::{Coprocessor, XifResponse};
-use arcane_sim::{CacheStats, PhaseBreakdown, Sew};
+use arcane_sim::{CacheStats, ChannelUtil, PhaseBreakdown, Sew};
 use arcane_vpu::Vpu;
 use std::collections::VecDeque;
 
@@ -70,8 +71,12 @@ pub struct ArcaneLlc {
     queue_done: VecDeque<u64>,
     ecpu_free_at: u64,
     vpu_free_at: Vec<u64>,
-    dma_chan: ResourceChannel,
+    /// The shared memory fabric between the controller complex and the
+    /// VPU array (kernel DMA bursts, dispatch descriptors, host
+    /// refills under the burst arbiters).
+    fabric: Fabric,
     ecpu_chan: ResourceChannel,
+    ecpu_stats: PortStats,
     /// `xmr` decode work folded into the next kernel's preamble phase.
     pending_preamble: u64,
     /// Kernels scheduled so far (the round-robin rotation cursor).
@@ -83,7 +88,13 @@ pub struct ArcaneLlc {
 
 impl ArcaneLlc {
     /// Builds the subsystem from a configuration.
-    pub fn new(cfg: ArcaneConfig) -> Self {
+    ///
+    /// The shared path's payload bandwidth is owned by the fabric:
+    /// `cfg.dma.bytes_per_cycle` is overridden with
+    /// `cfg.fabric.bytes_per_cycle` so the DMA engine and the fabric
+    /// banks always agree on the bus width.
+    pub fn new(mut cfg: ArcaneConfig) -> Self {
+        cfg.dma.bytes_per_cycle = cfg.fabric.bytes_per_cycle;
         ArcaneLlc {
             vpus: (0..cfg.n_vpus).map(|_| Vpu::new(cfg.vpu)).collect(),
             table: CacheTable::new(cfg.n_lines(), cfg.line_bytes()),
@@ -101,8 +112,9 @@ impl ArcaneLlc {
             queue_done: VecDeque::new(),
             ecpu_free_at: 0,
             vpu_free_at: vec![0; cfg.n_vpus],
-            dma_chan: ResourceChannel::new(),
+            fabric: Fabric::new(cfg.fabric, cfg.n_vpus),
             ecpu_chan: ResourceChannel::new(),
+            ecpu_stats: PortStats::default(),
             pending_preamble: 0,
             sched_seq: 0,
             records: Vec::new(),
@@ -156,6 +168,44 @@ impl ArcaneLlc {
     /// The kernel error behind the most recent rejected offload, if any.
     pub fn last_error(&self) -> Option<&KernelError> {
         self.last_error.as_ref()
+    }
+
+    /// The shared memory fabric (per-port traffic statistics, bank
+    /// occupancy).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The eCPU booking calendar (busy cycles, horizon).
+    pub fn ecpu_channel(&self) -> &ResourceChannel {
+        &self.ecpu_chan
+    }
+
+    /// Per-channel utilisation over the run so far: the eCPU, then one
+    /// row per fabric port (`host`, `vpu0`, …). Occupancy is measured
+    /// against [`ArcaneLlc::completion_time`].
+    pub fn channel_utilisation(&self) -> Vec<ChannelUtil> {
+        let horizon = self
+            .completion_time()
+            .max(self.fabric.horizon())
+            .max(self.ecpu_chan.horizon());
+        let mut rows = vec![ChannelUtil {
+            label: "ecpu".into(),
+            busy_cycles: self.ecpu_chan.busy_cycles(),
+            wait_cycles: self.ecpu_stats.wait_cycles,
+            requests: self.ecpu_stats.requests,
+            horizon,
+        }];
+        for (port, s) in self.fabric.port_stats().iter().enumerate() {
+            rows.push(ChannelUtil {
+                label: Fabric::port_label(port),
+                busy_cycles: s.busy_cycles,
+                wait_cycles: s.wait_cycles,
+                requests: s.requests,
+                horizon,
+            });
+        }
+        rows
     }
 
     /// Absolute cycle at which all queued kernel work completes.
@@ -258,7 +308,13 @@ impl ArcaneLlc {
                         }
                     }
                 };
-                service += self.refill(i, addr)?;
+                // The miss service (writeback + fill bursts) goes over
+                // the fabric's host port: a dedicated fixed-latency
+                // slave path under the whole-phase arbiter, contending
+                // with kernel bursts under the burst arbiters.
+                let raw = self.refill(i, addr)?;
+                let grant = self.fabric.request(HOST_PORT, addr, t, raw);
+                service += grant.end - t;
                 self.table.touch(i);
                 (i, self.table.line(i).tag)
             }
@@ -354,9 +410,11 @@ impl ArcaneLlc {
             width,
         );
         let work = crt.irq_entry + crt.decode + crt.xmr_bind;
-        let (_, end) = self
-            .ecpu_chan
-            .reserve_fragmented(now + crt.bridge_latency, work, 16);
+        let earliest = now + crt.bridge_latency;
+        let (_, end) = self.ecpu_chan.reserve_fragmented(earliest, work, 16);
+        self.ecpu_stats.requests += 1;
+        self.ecpu_stats.busy_cycles += work;
+        self.ecpu_stats.wait_cycles += (end - earliest).saturating_sub(work);
         self.ecpu_free_at = self.ecpu_free_at.max(end);
         self.pending_preamble += work;
         XifResponse::Accept {
@@ -429,9 +487,11 @@ impl ArcaneLlc {
         // work, booked on the (single) eCPU.
         let preamble = crt.irq_entry + crt.decode + crt.schedule + self.pending_preamble;
         self.pending_preamble = 0;
-        let (decode_start, decode_end) =
-            self.ecpu_chan
-                .reserve_fragmented(t_now + crt.bridge_latency, preamble, 16);
+        let earliest = t_now + crt.bridge_latency;
+        let (decode_start, decode_end) = self.ecpu_chan.reserve_fragmented(earliest, preamble, 16);
+        self.ecpu_stats.requests += 1;
+        self.ecpu_stats.busy_cycles += preamble;
+        self.ecpu_stats.wait_cycles += (decode_end - earliest).saturating_sub(preamble);
         self.ecpu_free_at = self.ecpu_free_at.max(decode_end);
 
         // Scheduler: VPU choice and kernel start.
@@ -447,8 +507,10 @@ impl ArcaneLlc {
             dma: self.dma,
             crt,
             locks: &mut self.locks,
-            dma_chan: &mut self.dma_chan,
+            fabric: &mut self.fabric,
+            port: Fabric::vpu_port(vpu),
             ecpu_chan: &mut self.ecpu_chan,
+            ecpu_stats: &mut self.ecpu_stats,
             t: t_start,
             phases: PhaseBreakdown {
                 preamble,

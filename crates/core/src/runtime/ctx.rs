@@ -18,6 +18,7 @@ use crate::cache::{CacheTable, LockWindows, ResourceChannel};
 use crate::config::CrtTiming;
 use crate::kernels::KernelError;
 use crate::runtime::map::MatView;
+use arcane_fabric::{Fabric, PortStats};
 use arcane_isa::vector::{Sr, VInstr, Vr};
 use arcane_mem::{Dma2d, DmaJob, ExtMem, Memory};
 use arcane_sim::{Phase, PhaseBreakdown, Sew};
@@ -34,8 +35,13 @@ pub struct KernelCtx<'a> {
     pub(crate) dma: Dma2d,
     pub(crate) crt: CrtTiming,
     pub(crate) locks: &'a mut LockWindows,
-    pub(crate) dma_chan: &'a mut ResourceChannel,
+    /// The shared fabric; this kernel's DMA and dispatch traffic goes
+    /// through [`KernelCtx::port`].
+    pub(crate) fabric: &'a mut Fabric,
+    /// The fabric request port of the VPU running this kernel.
+    pub(crate) port: usize,
     pub(crate) ecpu_chan: &'a mut ResourceChannel,
+    pub(crate) ecpu_stats: &'a mut PortStats,
     pub(crate) t: u64,
     pub(crate) phases: PhaseBreakdown,
     pub(crate) last_alloc_end: u64,
@@ -73,8 +79,29 @@ impl<'a> KernelCtx<'a> {
     fn ecpu_work(&mut self, phase: Phase, cycles: u64) {
         let t0 = self.t;
         let (_, end) = self.ecpu_chan.reserve(self.t, cycles);
+        self.ecpu_stats.requests += 1;
+        self.ecpu_stats.bursts += 1;
+        self.ecpu_stats.busy_cycles += cycles;
+        self.ecpu_stats.wait_cycles += (end - t0).saturating_sub(cycles);
         self.t = end;
         self.phases.charge(phase, end - t0);
+    }
+
+    /// Charges the dispatch of `n_instrs` vector instructions to the
+    /// assigned VPU. Under the whole-phase arbiter this is eCPU
+    /// software issue ([`CrtTiming::vinstr_issue`] exclusive cycles per
+    /// instruction); under the burst arbiters the instructions travel
+    /// as dispatch descriptors over the shared fabric to the VPU's own
+    /// sequencer, contending with DMA bursts at burst granularity.
+    fn dispatch_work(&mut self, n_instrs: u64) {
+        if self.fabric.issue_on_fabric() {
+            let t0 = self.t;
+            let grant = self.fabric.issue(self.port, self.t, n_instrs);
+            self.t = grant.end;
+            self.phases.charge(Phase::Compute, grant.end - t0);
+        } else {
+            self.ecpu_work(Phase::Compute, self.crt.vinstr_issue * n_instrs);
+        }
     }
 
     /// Sets the active vector length and element width.
@@ -85,7 +112,7 @@ impl<'a> KernelCtx<'a> {
     pub fn set_vl(&mut self, vl: usize, sew: Sew) -> Result<(), KernelError> {
         let cycles =
             self.vpus[self.vpu_index].execute_one(&VInstr::SetVl { vl: vl as u16, sew })?;
-        self.ecpu_work(Phase::Compute, self.crt.vinstr_issue);
+        self.dispatch_work(1);
         self.charge(Phase::Compute, cycles);
         Ok(())
     }
@@ -98,7 +125,7 @@ impl<'a> KernelCtx<'a> {
     /// Returns [`KernelError::Vpu`] on a malformed program.
     pub fn exec(&mut self, prog: &[VInstr]) -> Result<(), KernelError> {
         let stats = self.vpus[self.vpu_index].execute(prog)?;
-        self.ecpu_work(Phase::Compute, self.crt.vinstr_issue * stats.instrs);
+        self.dispatch_work(stats.instrs);
         self.charge(Phase::Compute, stats.cycles);
         Ok(())
     }
@@ -224,7 +251,8 @@ impl<'a> KernelCtx<'a> {
 
         self.t += work;
 
-        // The single shared DMA channel: book the earliest gap.
+        // The shared fabric: the DMA's burst train is granted under the
+        // configured arbiter (one contiguous window under whole-phase).
         let job = DmaJob {
             src: start,
             dst: 0, // destination is the VPU register file, filled below
@@ -239,7 +267,10 @@ impl<'a> KernelCtx<'a> {
                 .ext
                 .burst_cycles(job.bytes())
                 .saturating_sub(job.bytes().div_ceil(4));
-        let (_, dma_end) = self.dma_chan.reserve(self.t, dma_cycles);
+        let dma_end = self
+            .fabric
+            .request(self.port, start, self.t, dma_cycles)
+            .end;
 
         // Functional copy: external memory -> vector registers.
         let row_bytes = mat.row_bytes() as usize;
@@ -325,7 +356,10 @@ impl<'a> KernelCtx<'a> {
         // pays a random-access cost.
         let dma_cycles =
             self.dma.timing().cycles(&job) + self.ext.first_word_cycles() * n as u64 / 4;
-        let (_, dma_end) = self.dma_chan.reserve(self.t, dma_cycles);
+        let dma_end = self
+            .fabric
+            .request(self.port, dst_addr, self.t, dma_cycles)
+            .end;
 
         let src = self.vpus[self.vpu_index].line(vreg);
         let mut elems = Vec::with_capacity(n);
@@ -407,7 +441,10 @@ impl<'a> KernelCtx<'a> {
             .burst_cycles(bytes_out as u64)
             .saturating_sub(bytes_out as u64 / 4);
 
-        let (_, dma_end) = self.dma_chan.reserve(self.t, dma_cycles);
+        let dma_end = self
+            .fabric
+            .request(self.port, dst_addr, self.t, dma_cycles)
+            .end;
 
         // Functional gather: vreg -> external memory.
         let src = self.vpus[self.vpu_index].line(vreg);
@@ -431,6 +468,7 @@ impl<'a> KernelCtx<'a> {
 mod tests {
     use super::*;
     use crate::cache::CacheTable;
+    use arcane_fabric::FabricConfig;
     use arcane_vpu::VpuConfig;
 
     fn fixture() -> (Vec<Vpu>, CacheTable, ExtMem, LockWindows) {
@@ -440,12 +478,26 @@ mod tests {
         (vpus, table, ext, LockWindows::new())
     }
 
+    struct Shared {
+        fabric: Fabric,
+        ecpu: ResourceChannel,
+        ecpu_stats: PortStats,
+    }
+
+    fn shared() -> Shared {
+        Shared {
+            fabric: Fabric::new(FabricConfig::default_config(), 2),
+            ecpu: ResourceChannel::new(),
+            ecpu_stats: PortStats::default(),
+        }
+    }
+
     fn ctx<'a>(
         vpus: &'a mut Vec<Vpu>,
         table: &'a mut CacheTable,
         ext: &'a mut ExtMem,
         locks: &'a mut LockWindows,
-        chans: &'a mut (ResourceChannel, ResourceChannel),
+        sh: &'a mut Shared,
     ) -> KernelCtx<'a> {
         KernelCtx {
             vpus,
@@ -456,8 +508,10 @@ mod tests {
             dma: Dma2d::default(),
             crt: CrtTiming::default_tariff(),
             locks,
-            dma_chan: &mut chans.0,
-            ecpu_chan: &mut chans.1,
+            fabric: &mut sh.fabric,
+            port: Fabric::vpu_port(0),
+            ecpu_chan: &mut sh.ecpu,
+            ecpu_stats: &mut sh.ecpu_stats,
             t: 1000,
             phases: PhaseBreakdown::default(),
             last_alloc_end: 0,
@@ -471,7 +525,7 @@ mod tests {
         for i in 0..64u32 {
             ext.write_u32(0x2000_0000 + i * 4, i).unwrap();
         }
-        let mut chans = (ResourceChannel::new(), ResourceChannel::new());
+        let mut chans = shared();
         let mut c = ctx(&mut vpus, &mut table, &mut ext, &mut locks, &mut chans);
         let mat = MatView {
             addr: 0x2000_0000,
@@ -493,7 +547,7 @@ mod tests {
     #[test]
     fn row_too_wide_is_rejected() {
         let (mut vpus, mut table, mut ext, mut locks) = fixture();
-        let mut chans = (ResourceChannel::new(), ResourceChannel::new());
+        let mut chans = shared();
         let mut c = ctx(&mut vpus, &mut table, &mut ext, &mut locks, &mut chans);
         let mat = MatView {
             addr: 0x2000_0000,
@@ -518,7 +572,7 @@ mod tests {
         table.line_mut(40).dirty = true;
         table.line_mut(40).tag = tag;
         vpus[1].line_mut(8)[0] = 0xab; // line 40 = vpu 1, vreg 8
-        let mut chans = (ResourceChannel::new(), ResourceChannel::new());
+        let mut chans = shared();
         let mut c = ctx(&mut vpus, &mut table, &mut ext, &mut locks, &mut chans);
         let mat = MatView {
             addr: tag,
@@ -540,7 +594,7 @@ mod tests {
         for i in 0..8 {
             vpus[0].line_mut(3)[i * 4..i * 4 + 4].copy_from_slice(&(i as i32).to_le_bytes());
         }
-        let mut chans = (ResourceChannel::new(), ResourceChannel::new());
+        let mut chans = shared();
         let mut c = ctx(&mut vpus, &mut table, &mut ext, &mut locks, &mut chans);
         c.store_row_strided(3, 0, 2, 4, Sew::Word, 0x2000_4000);
         assert!(c.phases.writeback > 0);
@@ -552,7 +606,7 @@ mod tests {
     #[test]
     fn compute_services_charge_compute_phase() {
         let (mut vpus, mut table, mut ext, mut locks) = fixture();
-        let mut chans = (ResourceChannel::new(), ResourceChannel::new());
+        let mut chans = shared();
         let mut c = ctx(&mut vpus, &mut table, &mut ext, &mut locks, &mut chans);
         c.set_vl(8, Sew::Word).unwrap();
         c.set_scalar(Sr::new(0).unwrap(), 7);
@@ -569,10 +623,12 @@ mod tests {
     #[test]
     fn dma_channel_serialises() {
         let (mut vpus, mut table, mut ext, mut locks) = fixture();
-        let mut chans = (ResourceChannel::new(), ResourceChannel::new());
-        // Another kernel's transfer occupies the channel around the time
+        let mut chans = shared();
+        // Another kernel's transfer occupies the fabric around the time
         // this kernel wants it.
-        chans.0.reserve(0, 5_000);
+        chans
+            .fabric
+            .request(Fabric::vpu_port(1), 0x2000_0000, 0, 5_000);
         let mut c = ctx(&mut vpus, &mut table, &mut ext, &mut locks, &mut chans);
         let mat = MatView {
             addr: 0x2000_0000,

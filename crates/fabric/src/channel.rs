@@ -1,8 +1,9 @@
 //! Gap-scheduling calendar for shared hardware resources.
 //!
-//! The ARCANE LLC has two agents every kernel must share: the single
-//! 2-D DMA channel and the single eCPU (which dispatches every vector
-//! instruction). Because kernels are simulated eagerly one after
+//! The ARCANE LLC has agents every kernel must share: the single 2-D
+//! DMA channel, the single eCPU (which dispatches every vector
+//! instruction) and the fabric banks between the controller complex and
+//! the VPU array. Because kernels are simulated eagerly one after
 //! another while their cycle intervals interleave on the real hardware,
 //! a plain "free-at" cursor would serialise kernels that actually
 //! overlap. [`ResourceChannel`] instead keeps a calendar of busy
@@ -85,9 +86,66 @@ impl ResourceChannel {
         (first.unwrap_or(earliest), t)
     }
 
+    /// Length of the free gap beginning at the earliest idle cycle at
+    /// or after `earliest` (the slice a work-conserving arbiter would
+    /// hand out next). Returns `(gap_start, gap_len)`; `gap_len` is
+    /// `u64::MAX` for the open-ended gap past the last window.
+    fn next_gap(&self, earliest: u64) -> (u64, u64) {
+        let mut t = earliest;
+        let mut i = self.windows.partition_point(|&(_, e)| e <= t);
+        while i < self.windows.len() {
+            let (s, e) = self.windows[i];
+            if s > t {
+                return (t, s - t); // gap before window i
+            }
+            t = e; // we are inside (or at the edge of) window i
+            i += 1;
+        }
+        (t, u64::MAX)
+    }
+
+    /// Books `total` cycles of *work-conserving* shared-resource time
+    /// starting no earlier than `earliest`: every idle slice is taken
+    /// as found, in bursts of at most `burst` cycles, so concurrent
+    /// transactions interleave at burst granularity instead of pushing
+    /// each other's whole phases to the horizon. This is the eager-
+    /// simulation equivalent of a round-robin bus arbiter: a stream
+    /// booked later weaves into every gap the earlier streams left.
+    ///
+    /// Returns `(first_start, last_end, bursts_granted)`.
+    pub fn reserve_packed(&mut self, earliest: u64, total: u64, burst: u64) -> (u64, u64, u64) {
+        assert!(burst > 0, "burst must be positive");
+        if total == 0 {
+            return (earliest, earliest, 0);
+        }
+        let mut remaining = total;
+        let mut t = earliest;
+        let mut first = None;
+        let mut bursts = 0;
+        while remaining > 0 {
+            let (gap_start, gap_len) = self.next_gap(t);
+            let d = remaining.min(burst).min(gap_len);
+            let (s, e) = self.reserve(gap_start, d);
+            debug_assert_eq!((s, e), (gap_start, gap_start + d));
+            if first.is_none() {
+                first = Some(s);
+            }
+            bursts += 1;
+            remaining -= d;
+            t = e;
+        }
+        (first.unwrap_or(earliest), t, bursts)
+    }
+
     /// Latest booked end time (0 when idle forever).
     pub fn horizon(&self) -> u64 {
         self.windows.iter().map(|&(_, e)| e).max().unwrap_or(0)
+    }
+
+    /// The booked busy windows, sorted by start time. Disjoint and
+    /// maximally coalesced: consecutive windows never touch.
+    pub fn windows(&self) -> &[(u64, u64)] {
+        &self.windows
     }
 
     /// Drops windows ending at or before `now`.
@@ -166,5 +224,41 @@ mod tests {
         c.prune(15);
         assert_eq!(c.len(), 1);
         assert_eq!(c.horizon(), 30);
+    }
+
+    #[test]
+    fn packed_fills_sub_burst_gaps() {
+        // A comb of 6-busy/6-free windows: fragmented booking with a
+        // 16-cycle chunk cannot use the 6-cycle gaps, packed booking
+        // fills every one of them.
+        let mut c = ResourceChannel::new();
+        for k in 0..10u64 {
+            c.reserve(12 * k, 6);
+        }
+        let (first, end, bursts) = c.reserve_packed(0, 30, 16);
+        assert_eq!(first, 6, "first grant lands in the first gap");
+        assert_eq!(end, 60, "five 6-cycle gaps absorb 30 cycles");
+        assert_eq!(bursts, 5);
+        // The comb is now solid up to 60.
+        assert_eq!(c.windows()[0], (0, 66));
+    }
+
+    #[test]
+    fn packed_respects_burst_cap() {
+        let mut c = ResourceChannel::new();
+        let (first, end, bursts) = c.reserve_packed(100, 40, 16);
+        assert_eq!((first, end), (100, 140), "idle channel grants densely");
+        assert_eq!(bursts, 3, "16 + 16 + 8");
+        assert_eq!(c.len(), 1, "adjacent bursts coalesce");
+    }
+
+    #[test]
+    fn packed_books_exactly_total() {
+        let mut c = ResourceChannel::new();
+        c.reserve(0, 5);
+        c.reserve(8, 5);
+        let before = c.busy_cycles();
+        let (_, _, _) = c.reserve_packed(0, 20, 4);
+        assert_eq!(c.busy_cycles(), before + 20);
     }
 }

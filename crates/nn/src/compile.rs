@@ -20,11 +20,17 @@
 
 use crate::graph::{LayerGraph, Node, TensorId};
 use crate::plan::{GraphLayout, Placement};
+use arcane_fabric::{HostTraffic, HostTrafficGen};
 use arcane_isa::asm::Asm;
 use arcane_isa::reg::{A0, A1, A2, T0, T1};
 use arcane_isa::rv32::LoadOp;
 use arcane_isa::xmnmc::{self, kernel_id, MatReg};
 use arcane_sim::Sew;
+
+/// Cache-line size the traffic window is laid out in (= VLEN = the
+/// arena's placement alignment, so the scratch window always starts
+/// on a fresh line past the tensors).
+const LINE_BYTES: u32 = crate::plan::ALIGN;
 
 /// Compiler knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,11 +39,29 @@ pub struct CompileOptions {
     /// (1 = one kernel per node; 2/4 = the multi-instance split of
     /// §V-C applied to the whole graph).
     pub instances: usize,
+    /// Synthetic host traffic: after every `period` kernels the host
+    /// program dirties `bytes` of a scratch window past the tensor
+    /// arena (one word store per cache line) — the mixed host/kernel
+    /// load under which scheduler and arbiter policies diverge.
+    pub host_traffic: Option<HostTraffic>,
 }
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { instances: 1 }
+        CompileOptions {
+            instances: 1,
+            host_traffic: None,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// Options with `instances`-way splitting and no host traffic.
+    pub fn with_instances(instances: usize) -> Self {
+        CompileOptions {
+            instances,
+            ..CompileOptions::default()
+        }
     }
 }
 
@@ -52,6 +76,11 @@ pub struct NnProgram {
     pub kernels: usize,
     /// `xmr` reservations emitted.
     pub reservations: usize,
+    /// Host store instructions injected by the traffic knob.
+    pub host_stores: usize,
+    /// End of everything the program touches in external memory
+    /// (tensor arena plus the host-traffic scratch window).
+    pub mem_end: u32,
 }
 
 /// Splits `total` rows into `n` (clamped to `total`) contiguous chunks,
@@ -78,6 +107,8 @@ struct Emitter<'g> {
     esz: usize,
     kernels: usize,
     reservations: usize,
+    traffic: Option<(HostTraffic, HostTrafficGen)>,
+    host_stores: usize,
 }
 
 const MD: u8 = 0;
@@ -130,6 +161,27 @@ impl Emitter<'_> {
         ));
         self.asm.raw(xmnmc::xmk_instr(id, self.sew, A0, A1, A2));
         self.kernels += 1;
+        self.emit_host_traffic();
+    }
+
+    /// After every `period`-th kernel offload, the host dirties the
+    /// scratch window: one word store per cache line (the generator
+    /// walks the window round-robin, so the working set is re-dirtied
+    /// on every burst).
+    fn emit_host_traffic(&mut self) {
+        let Some((knob, traffic_gen)) = self.traffic.as_mut() else {
+            return;
+        };
+        if !self.kernels.is_multiple_of(knob.period) {
+            return;
+        }
+        let addrs = traffic_gen.burst(knob.bytes);
+        for addr in addrs {
+            self.asm.li(T0, addr as i32);
+            self.asm.li(T1, self.host_stores as i32);
+            self.asm.sw(T1, T0, 0);
+            self.host_stores += 1;
+        }
     }
 
     /// Emits a row-parallel unary kernel (`input → dest`, same shape),
@@ -257,6 +309,18 @@ pub fn compile(graph: &LayerGraph, base: u32, opts: &CompileOptions) -> NnProgra
     );
     assert!(opts.instances >= 1, "instances must be >= 1");
     let layout = GraphLayout::plan(graph, base);
+    // The traffic scratch window sits line-aligned past the tensor
+    // arena, sized to one burst, so stores dirty cache lines without
+    // touching any operand.
+    let scratch = layout.end.next_multiple_of(LINE_BYTES);
+    let traffic = opts.host_traffic.map(|knob| {
+        let span = knob.bytes.next_multiple_of(LINE_BYTES).max(LINE_BYTES);
+        (knob, HostTrafficGen::new(scratch, span, LINE_BYTES))
+    });
+    let mem_end = match &traffic {
+        Some((knob, _)) => scratch + knob.bytes.next_multiple_of(LINE_BYTES).max(LINE_BYTES),
+        None => layout.end,
+    };
     let mut e = Emitter {
         graph,
         layout,
@@ -265,6 +329,8 @@ pub fn compile(graph: &LayerGraph, base: u32, opts: &CompileOptions) -> NnProgra
         esz: graph.sew().bytes(),
         kernels: 0,
         reservations: 0,
+        traffic,
+        host_stores: 0,
     };
     for node in graph.nodes() {
         e.node(node, opts.instances);
@@ -282,6 +348,8 @@ pub fn compile(graph: &LayerGraph, base: u32, opts: &CompileOptions) -> NnProgra
         layout: e.layout,
         kernels: e.kernels,
         reservations: e.reservations,
+        host_stores: e.host_stores,
+        mem_end,
     }
 }
 
@@ -314,11 +382,37 @@ mod tests {
             g
         };
         let g = build();
-        let one = compile(&g, 0x2000_0000, &CompileOptions { instances: 1 });
-        let four = compile(&g, 0x2000_0000, &CompileOptions { instances: 4 });
+        let one = compile(&g, 0x2000_0000, &CompileOptions::with_instances(1));
+        let four = compile(&g, 0x2000_0000, &CompileOptions::with_instances(4));
         assert_eq!(one.kernels, 1);
         assert_eq!(four.kernels, 4);
         assert!(four.reservations > one.reservations);
+    }
+
+    #[test]
+    fn host_traffic_knob_emits_line_strided_stores() {
+        let mut g = LayerGraph::new(Sew::Byte);
+        let x = g.input("x", 8, 8);
+        let w = g.input("w", 8, 8);
+        let mut t = g.gemm(x, w);
+        for _ in 0..3 {
+            t = g.leaky_relu(t, 3);
+        }
+        g.mark_output(t);
+        let quiet = compile(&g, 0x2000_0000, &CompileOptions::default());
+        assert_eq!(quiet.host_stores, 0);
+        assert_eq!(quiet.mem_end, quiet.layout.end);
+
+        let opts = CompileOptions {
+            instances: 1,
+            host_traffic: Some(HostTraffic::new(2, 3 * LINE_BYTES)),
+        };
+        let noisy = compile(&g, 0x2000_0000, &opts);
+        // 4 kernels → bursts after kernels 2 and 4, 3 stores each.
+        assert_eq!(noisy.kernels, 4);
+        assert_eq!(noisy.host_stores, 6);
+        assert!(noisy.mem_end >= noisy.layout.end + 3 * LINE_BYTES);
+        assert!(noisy.mem_end.is_multiple_of(LINE_BYTES));
     }
 
     #[test]

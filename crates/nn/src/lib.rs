@@ -50,6 +50,7 @@ mod plan;
 mod run;
 pub mod suite;
 
+pub use arcane_fabric::HostTraffic;
 pub use compile::{compile, split_rows, CompileOptions, NnProgram};
 pub use graph::{LayerGraph, Node, Tensor, TensorId, TensorKind};
 pub use plan::{GraphLayout, Placement, ALIGN};

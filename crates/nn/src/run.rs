@@ -10,7 +10,7 @@ use crate::compile::{compile, CompileOptions, NnProgram};
 use crate::graph::LayerGraph;
 use arcane_core::{ArcaneConfig, KernelRecord};
 use arcane_mem::Memory;
-use arcane_sim::{EngineMode, PhaseBreakdown};
+use arcane_sim::{ChannelUtil, EngineMode, PhaseBreakdown};
 use arcane_system::{ArcaneSoc, EXT_BASE};
 use arcane_workloads::Matrix;
 
@@ -34,6 +34,11 @@ pub struct GraphRunReport {
     pub records: Vec<KernelRecord>,
     /// `xmr` rebinds the C-RT resolved by renaming.
     pub renames: u64,
+    /// Dirty cache lines written back (kernel flushes + host-traffic
+    /// evictions — the cost the scheduler-policy ablation measures).
+    pub writebacks: u64,
+    /// Per-channel utilisation (eCPU + fabric ports) over the run.
+    pub channels: Vec<ChannelUtil>,
 }
 
 impl GraphRunReport {
@@ -67,8 +72,8 @@ pub fn run_graph_with_engine(
     let sew = graph.sew();
     let program: NnProgram = compile(graph, EXT_BASE, opts);
     assert!(
-        (program.layout.end - EXT_BASE) as usize <= cfg.ext_size,
-        "graph arena exceeds external memory"
+        (program.mem_end - EXT_BASE) as usize <= cfg.ext_size,
+        "graph arena (plus host-traffic window) exceeds external memory"
     );
 
     let mut soc = ArcaneSoc::new(cfg);
@@ -128,6 +133,8 @@ pub fn run_graph_with_engine(
         outputs,
         records,
         renames: llc.renames(),
+        writebacks: llc.stats().writebacks.get(),
+        channels: llc.channel_utilisation(),
     }
 }
 

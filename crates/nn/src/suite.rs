@@ -37,12 +37,20 @@ impl BuiltGraph {
     ///
     /// Panics on any output mismatch or host fault.
     pub fn run_verified(&self, cfg: ArcaneConfig, instances: usize) -> GraphRunReport {
-        let report = run_graph(
-            cfg,
-            &self.graph,
-            &self.inputs,
-            &CompileOptions { instances },
-        );
+        self.run_verified_with(cfg, &CompileOptions::with_instances(instances))
+    }
+
+    /// [`BuiltGraph::run_verified`] with explicit compiler options —
+    /// the entry the mixed-traffic ablation uses (host-traffic stores
+    /// land in a scratch window past the arena, so outputs still
+    /// verify bit-exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any output mismatch or host fault.
+    pub fn run_verified_with(&self, cfg: ArcaneConfig, opts: &CompileOptions) -> GraphRunReport {
+        let report = run_graph(cfg, &self.graph, &self.inputs, opts);
+        let instances = opts.instances;
         assert_eq!(
             report.outputs.len(),
             self.golden.len(),

@@ -98,9 +98,59 @@ impl CacheStats {
     }
 }
 
+/// Utilisation of one shared channel or fabric port over a run: how
+/// many cycles it was busy, how long its clients waited for grants,
+/// and what fraction of the run it was occupied.
+///
+/// # Examples
+///
+/// ```
+/// use arcane_sim::ChannelUtil;
+/// let u = ChannelUtil { label: "dma".into(), busy_cycles: 250,
+///                       wait_cycles: 50, requests: 10, horizon: 1000 };
+/// assert!((u.occupancy() - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelUtil {
+    /// Channel/port name (`ecpu`, `host`, `vpu0`, …).
+    pub label: String,
+    /// Cycles the channel was booked busy.
+    pub busy_cycles: u64,
+    /// Cycles clients waited beyond their service time.
+    pub wait_cycles: u64,
+    /// Transactions issued through the channel.
+    pub requests: u64,
+    /// Run length the occupancy is measured against.
+    pub horizon: u64,
+}
+
+impl ChannelUtil {
+    /// Busy fraction of the horizon in `[0, 1]` (zero when the horizon
+    /// is empty).
+    pub fn occupancy(&self) -> f64 {
+        if self.horizon == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / self.horizon as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn channel_util_occupancy_handles_empty_horizon() {
+        let u = ChannelUtil {
+            label: "x".into(),
+            busy_cycles: 5,
+            wait_cycles: 0,
+            requests: 1,
+            horizon: 0,
+        };
+        assert_eq!(u.occupancy(), 0.0);
+    }
 
     #[test]
     fn counter_saturates() {

@@ -153,6 +153,7 @@ fn run_cpu_baseline(p: &ConvLayerParams, use_pulp: bool) -> RunReport {
         misses: soc.llc().stats().misses.get(),
         stall_cycles: 0,
         macs: p.macs(),
+        channels: Vec::new(),
     }
 }
 
@@ -216,6 +217,7 @@ pub fn run_arcane_conv_with(cfg: ArcaneConfig, p: &ConvLayerParams, instances: u
         llc.stats().misses.get(),
         llc.stats().stall_cycles.get(),
     );
+    let channels = llc.channel_utilisation();
     drop(llc);
     RunReport {
         label: if instances == 1 {
@@ -230,6 +232,7 @@ pub fn run_arcane_conv_with(cfg: ArcaneConfig, p: &ConvLayerParams, instances: u
         misses,
         stall_cycles,
         macs: p.macs(),
+        channels,
     }
 }
 

@@ -24,5 +24,5 @@ mod report;
 mod soc;
 
 pub use layout::{ConvLayerParams, Layout, EXT_BASE, IMEM_SIZE};
-pub use report::{ConvSweepPoint, RunReport};
+pub use report::{format_channel_table, ConvSweepPoint, RunReport};
 pub use soc::{ArcaneSoc, BaselineSoc};

@@ -1,5 +1,6 @@
 //! Run reports: the measurements every figure is built from.
 
+use arcane_sim::ChannelUtil;
 use arcane_sim::PhaseBreakdown;
 use arcane_sim::Sew;
 
@@ -23,6 +24,9 @@ pub struct RunReport {
     pub stall_cycles: u64,
     /// Multiply-accumulate operations performed by the workload.
     pub macs: u64,
+    /// Per-channel utilisation: the eCPU plus one row per fabric port
+    /// (ARCANE only; empty for the baselines).
+    pub channels: Vec<ChannelUtil>,
 }
 
 impl RunReport {
@@ -48,6 +52,28 @@ impl RunReport {
     pub fn gops(&self, freq_mhz: f64) -> f64 {
         self.macs_per_cycle() * 2.0 * freq_mhz / 1e3
     }
+}
+
+/// Formats per-channel utilisation as an aligned table (one line per
+/// channel: busy cycles, wait cycles, requests, occupancy), ready to
+/// print under a run report.
+pub fn format_channel_table(channels: &[ChannelUtil]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>8} {:>12} {:>12} {:>9} {:>10}\n",
+        "channel", "busy cyc", "wait cyc", "requests", "occupancy"
+    ));
+    for u in channels {
+        out.push_str(&format!(
+            "{:>8} {:>12} {:>12} {:>9} {:>9.1}%\n",
+            u.label,
+            u.busy_cycles,
+            u.wait_cycles,
+            u.requests,
+            100.0 * u.occupancy()
+        ));
+    }
+    out
 }
 
 /// One point of the Figure 4 sweep.
@@ -77,7 +103,32 @@ mod tests {
             misses: 0,
             stall_cycles: 0,
             macs,
+            channels: Vec::new(),
         }
+    }
+
+    #[test]
+    fn channel_table_formats_every_row() {
+        let rows = vec![
+            ChannelUtil {
+                label: "ecpu".into(),
+                busy_cycles: 500,
+                wait_cycles: 20,
+                requests: 7,
+                horizon: 1000,
+            },
+            ChannelUtil {
+                label: "vpu0".into(),
+                busy_cycles: 250,
+                wait_cycles: 0,
+                requests: 3,
+                horizon: 1000,
+            },
+        ];
+        let t = format_channel_table(&rows);
+        assert!(t.contains("ecpu") && t.contains("vpu0"));
+        assert!(t.contains("50.0%") && t.contains("25.0%"));
+        assert_eq!(t.lines().count(), 3, "header + one line per channel");
     }
 
     #[test]

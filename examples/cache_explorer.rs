@@ -113,4 +113,12 @@ fn main() {
         llc.stats().stalls.get(),
         llc.stats().stall_cycles.get()
     );
+
+    // Where the shared-path cycles went: the eCPU plus every fabric
+    // port (host slave path + one port per VPU controller).
+    println!("\n== per-channel utilisation ==");
+    print!(
+        "{}",
+        arcane::system::format_channel_table(&llc.channel_utilisation())
+    );
 }

@@ -10,6 +10,8 @@
 //! * [`isa`] — RV32IM / XCVPULP / `xmnmc` / vector encodings + assembler
 //! * [`sim`] — clock, phase accounting, statistics
 //! * [`mem`] — bus, memory models, 2-D DMA
+//! * [`fabric`] — burst-level shared-memory fabric: request ports,
+//!   arbiter policies, bank/width model, host-traffic generation
 //! * [`rv32`] — the RV32IM(+XCVPULP) instruction-set simulator
 //! * [`vpu`] — the NM-Carus-style vector processing unit
 //! * [`core`] — **the ARCANE LLC**: cache controller, Address Table,
@@ -40,6 +42,7 @@
 
 pub use arcane_area as area;
 pub use arcane_core as core;
+pub use arcane_fabric as fabric;
 pub use arcane_isa as isa;
 pub use arcane_mem as mem;
 pub use arcane_nn as nn;

@@ -90,6 +90,45 @@ fn sec5c_throughput_anchors() {
     assert!((INTEL_CNC.gops / g - 1.47).abs() < 0.01);
 }
 
+/// The §V-C multi-instance band under the fabric arbiters (DESIGN.md
+/// §4.5): whole-phase reproduces the committed 4-VPU plateau
+/// bit-for-bit, round-robin-burst removes the shared-path
+/// serialisation artefact and restores the paper's multi-instance
+/// gain (4 VPUs beat 2).
+#[test]
+fn burst_arbitration_unlocks_multi_instance_scaling() {
+    use arcane::core::ArcaneConfig;
+    use arcane::fabric::ArbiterKind;
+    use arcane::system::driver::run_arcane_conv_with;
+
+    let p = ConvLayerParams::new(64, 64, 7, Sew::Byte);
+    let run = |arbiter: ArbiterKind, n_vpus: usize| {
+        let mut cfg = ArcaneConfig::with_lanes(8);
+        cfg.n_vpus = n_vpus;
+        cfg.fabric.arbiter = arbiter;
+        run_arcane_conv_with(cfg, &p, n_vpus).cycles
+    };
+    // The plateau: under whole-phase, 4 VPUs buy nothing over 2.
+    let (wp2, wp4) = (
+        run(ArbiterKind::WholePhase, 2),
+        run(ArbiterKind::WholePhase, 4),
+    );
+    assert!(
+        wp4 as f64 >= 0.95 * wp2 as f64,
+        "whole-phase must keep the plateau: {wp4} vs {wp2}"
+    );
+    // The fix: burst interleaving makes 4 VPUs beat 2, and both beat 1.
+    let rr1 = run(ArbiterKind::RoundRobinBurst, 1);
+    let rr2 = run(ArbiterKind::RoundRobinBurst, 2);
+    let rr4 = run(ArbiterKind::RoundRobinBurst, 4);
+    assert!(rr2 < rr1, "2 VPUs beat 1 under round-robin-burst");
+    assert!(
+        rr4 < rr2,
+        "4 VPUs must beat 2 under round-robin-burst: {rr4} vs {rr2}"
+    );
+    assert!(rr4 < wp4, "burst arbitration beats whole-phase outright");
+}
+
 /// The full 256×256 anchors of DESIGN.md §5. ~1 minute in release mode:
 /// `cargo test --release --test calibration -- --ignored`.
 #[test]

@@ -220,7 +220,7 @@ proptest! {
 #[test]
 fn graph_engines_are_cycle_identical() {
     let b = suite::transformer_block(8, 12, 16, Sew::Byte, 99);
-    let opts = CompileOptions { instances: 2 };
+    let opts = CompileOptions::with_instances(2);
     let mut cfg = ArcaneConfig::with_lanes(8);
     cfg.n_vpus = 2;
     let block =
