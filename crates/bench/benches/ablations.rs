@@ -163,8 +163,10 @@ fn scheduler_mixed_traffic_ablation() {
     let opts = CompileOptions {
         instances: 1,
         host_traffic: Some(traffic),
+        ..CompileOptions::default()
     };
-    let prog = arcane_nn::compile(&graph.graph, arcane_system::EXT_BASE, &opts);
+    let prog = arcane_nn::compile(&graph.graph, arcane_system::EXT_BASE, &opts)
+        .expect("transformer graph must compile");
     println!(
         "\n-- mixed host/kernel traffic (transformer graph, {} KiB dirtied every {} kernels,",
         traffic.bytes / 1024,

@@ -9,7 +9,8 @@
 
 use arcane_core::ArcaneConfig;
 use arcane_nn::suite::{self, BuiltGraph};
-use arcane_sim::{Phase, Sew};
+use arcane_sim::Sew;
+use arcane_system::format_phase_split_table;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -21,24 +22,16 @@ fn cfg(n_vpus: usize) -> ArcaneConfig {
 
 fn graph_table(block: &BuiltGraph) {
     println!("\n== {} (int8, least-dirty) ==", block.name);
-    arcane_bench::rule(76);
-    println!(
-        "{:>6} {:>9} {:>14} {:>11} {:>11} {:>11}",
-        "VPUs", "kernels", "total cycles", "preamble %", "compute %", "alloc+wb %"
-    );
-    arcane_bench::rule(76);
-    for n_vpus in [1usize, 2, 4] {
-        let r = block.run_verified(cfg(n_vpus), n_vpus);
-        let ph = r.phases;
-        println!(
-            "{n_vpus:>6} {:>9} {:>14} {:>10.1}% {:>10.1}% {:>10.1}%",
-            r.kernels,
-            arcane_bench::fmt_cycles(r.cycles),
-            100.0 * ph.share(Phase::Preamble),
-            100.0 * ph.share(Phase::Compute),
-            100.0 * (ph.share(Phase::Allocation) + ph.share(Phase::Writeback)),
-        );
-    }
+    arcane_bench::rule(104);
+    let rows: Vec<_> = [1usize, 2, 4]
+        .iter()
+        .map(|&n_vpus| {
+            block
+                .run_verified(cfg(n_vpus), n_vpus)
+                .split_row(format!("{} x{n_vpus}", block.name))
+        })
+        .collect();
+    print!("{}", format_phase_split_table(&rows));
 }
 
 fn sizes() -> (BuiltGraph, BuiltGraph, BuiltGraph) {

@@ -2,6 +2,7 @@
 
 use crate::sched::SchedulerKind;
 use arcane_fabric::FabricConfig;
+use arcane_isa::launch::LaunchMode;
 use arcane_mem::DmaTiming;
 use arcane_vpu::VpuConfig;
 
@@ -37,6 +38,17 @@ pub struct CrtTiming {
     /// Fixed per-tile software overhead in the allocator
     /// (layout computation, DMA programming beyond the DMA's own setup).
     pub tile_overhead: u64,
+    /// Descriptor launch pipeline: one-time batch entry on the eCPU
+    /// (IRQ entry plus frame-header parse) — paid once per
+    /// [`arcane_isa::launch::DescriptorBatch`], not per kernel.
+    pub batch_entry: u64,
+    /// Descriptor launch pipeline: replaying one predecoded descriptor
+    /// (table walk, scheduling) — the amortised successor of
+    /// `decode + schedule`.
+    pub desc_decode: u64,
+    /// Descriptor launch pipeline: installing one predecoded operand
+    /// binding — the amortised successor of `xmr_bind`.
+    pub desc_bind: u64,
 }
 
 impl CrtTiming {
@@ -59,6 +71,9 @@ impl CrtTiming {
             sreg_write: 2,
             elem_read: 3,
             tile_overhead: 50,
+            batch_entry: 140,
+            desc_decode: 90,
+            desc_bind: 30,
         }
     }
 }
@@ -103,6 +118,13 @@ pub struct ArcaneConfig {
     pub at_capacity: usize,
     /// Kernel Scheduler placement policy (DESIGN.md §4.4).
     pub scheduler: SchedulerKind,
+    /// Kernel-launch pipeline (DESIGN.md §4.6): the paper's
+    /// per-instruction `xmr`/`xmkN` path (the default, bit- and
+    /// cycle-identical to the pre-descriptor tree) or the batched
+    /// descriptor pipeline that decodes a
+    /// [`arcane_isa::launch::DescriptorBatch`] once and replays it per
+    /// slice.
+    pub launch: LaunchMode,
 }
 
 impl ArcaneConfig {
@@ -123,6 +145,7 @@ impl ArcaneConfig {
             kernel_queue_capacity: 8,
             at_capacity: 32,
             scheduler: SchedulerKind::LeastDirty,
+            launch: LaunchMode::Legacy,
         }
     }
 

@@ -21,6 +21,7 @@ pub use relu::LeakyRelu;
 
 use crate::runtime::ctx::KernelCtx;
 use crate::runtime::map::MatView;
+use arcane_isa::launch::LaunchDecodeError;
 use arcane_isa::xmnmc::{kernel_id, MatReg};
 use arcane_sim::Sew;
 use arcane_vpu::VpuError;
@@ -75,6 +76,8 @@ pub enum KernelError {
     },
     /// Operand widths disagree with the instruction width suffix.
     WidthMismatch,
+    /// An `xmb` launch-batch failed to decode (descriptor pipeline).
+    Launch(LaunchDecodeError),
     /// The VPU rejected a vector instruction (runtime bug).
     Vpu(VpuError),
 }
@@ -96,6 +99,7 @@ impl fmt::Display for KernelError {
             KernelError::WidthMismatch => {
                 f.write_str("operand width differs from instruction suffix")
             }
+            KernelError::Launch(e) => write!(f, "launch-batch decode failed: {e}"),
             KernelError::Vpu(e) => write!(f, "vector unit fault: {e}"),
         }
     }

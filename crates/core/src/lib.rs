@@ -70,6 +70,7 @@ pub mod runtime;
 pub mod sched;
 mod standard;
 
+pub use arcane_isa::launch::LaunchMode;
 pub use config::{ArcaneConfig, CrtTiming};
 pub use llc::{ArcaneLlc, KernelRecord};
 pub use runtime::map::{MatView, MatrixMap};

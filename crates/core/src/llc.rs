@@ -25,13 +25,15 @@ use crate::cache::{
 use crate::config::ArcaneConfig;
 use crate::kernels::{KernelError, KernelLib, ResolvedArgs};
 use crate::runtime::ctx::KernelCtx;
+use crate::runtime::map::MatView;
 use crate::runtime::map::MatrixMap;
 use crate::sched::SchedView;
 use arcane_fabric::{Fabric, PortStats, HOST_PORT};
+use arcane_isa::launch::{DescriptorBatch, LaunchMode, FUNC5_XMB};
 use arcane_isa::xmnmc::{self, XmnmcOp};
 use arcane_mem::{Access, AccessSize, BusError, Dma2d, ExtMem, Memory};
 use arcane_rv32::{Coprocessor, XifResponse};
-use arcane_sim::{CacheStats, ChannelUtil, PhaseBreakdown, Sew};
+use arcane_sim::{CacheStats, ChannelUtil, LaunchStats, PhaseBreakdown, Sew};
 use arcane_vpu::Vpu;
 use std::collections::VecDeque;
 
@@ -79,6 +81,8 @@ pub struct ArcaneLlc {
     ecpu_stats: PortStats,
     /// `xmr` decode work folded into the next kernel's preamble phase.
     pending_preamble: u64,
+    /// Descriptor launch-pipeline counters (all zero in legacy mode).
+    launch_stats: LaunchStats,
     /// Kernels scheduled so far (the round-robin rotation cursor).
     sched_seq: u64,
     records: Vec<KernelRecord>,
@@ -116,6 +120,7 @@ impl ArcaneLlc {
             ecpu_chan: ResourceChannel::new(),
             ecpu_stats: PortStats::default(),
             pending_preamble: 0,
+            launch_stats: LaunchStats::default(),
             sched_seq: 0,
             records: Vec::new(),
             stats: CacheStats::default(),
@@ -179,6 +184,12 @@ impl ArcaneLlc {
     /// The eCPU booking calendar (busy cycles, horizon).
     pub fn ecpu_channel(&self) -> &ResourceChannel {
         &self.ecpu_chan
+    }
+
+    /// Descriptor launch-pipeline counters: batches decoded, descriptors
+    /// replayed, decode cycles. All zero on the legacy launch path.
+    pub const fn launch_stats(&self) -> &LaunchStats {
+        &self.launch_stats
     }
 
     /// Per-channel utilisation over the run so far: the eCPU, then one
@@ -423,6 +434,146 @@ impl ArcaneLlc {
         }
     }
 
+    /// Kernel Decoder front half: O(1) library lookup first (unknown
+    /// `func5` is the kill path), then operand resolution and shape
+    /// validation. Shared verbatim by the legacy per-instruction path
+    /// and the descriptor-batch replay loop.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_launch(
+        &self,
+        id: u8,
+        width: Sew,
+        alpha: i16,
+        beta: i16,
+        md: arcane_isa::xmnmc::MatReg,
+        ms1: arcane_isa::xmnmc::MatReg,
+        ms2: arcane_isa::xmnmc::MatReg,
+        ms3: arcane_isa::xmnmc::MatReg,
+    ) -> Result<(ResolvedArgs, Vec<MatView>, &'static str), KernelError> {
+        let kernel = self.lib.get(id)?;
+        let md_view = self
+            .map
+            .resolve(md)
+            .ok_or(KernelError::UnboundMatrix { reg: md })?;
+        let args = ResolvedArgs {
+            width,
+            alpha,
+            beta,
+            md: md_view,
+            ms1: self.map.resolve(ms1),
+            ms2: self.map.resolve(ms2),
+            ms3: self.map.resolve(ms3),
+        };
+        let sources = kernel.validate(&args)?;
+        Ok((args, sources, kernel.name()))
+    }
+
+    /// Back half of a launch, after its preamble has been booked on the
+    /// eCPU: schedule the kernel on a VPU, run it, and register its
+    /// hazard windows. `local_issue` selects whether control traffic
+    /// (vector issue, scalar writes, element reads) serialises on the
+    /// shared eCPU (legacy) or stays on the VPU-side decoder
+    /// (descriptor pipeline). Returns the kernel's writeback-completion
+    /// cycle.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_launch(
+        &mut self,
+        id: u8,
+        name: &'static str,
+        args: &ResolvedArgs,
+        sources: &[MatView],
+        decode_start: u64,
+        decode_end: u64,
+        preamble: u64,
+        now: u64,
+        local_issue: bool,
+    ) -> Result<u64, KernelError> {
+        // Scheduler: VPU choice and kernel start.
+        let vpu = self.choose_vpu();
+        let t_start = decode_end.max(self.vpu_free_at[vpu]);
+
+        let mut ctx = KernelCtx {
+            vpus: &mut self.vpus,
+            vpu_index: vpu,
+            vregs: self.cfg.vpu.vregs,
+            table: &mut self.table,
+            ext: &mut self.ext,
+            dma: self.dma,
+            crt: self.cfg.crt,
+            locks: &mut self.locks,
+            fabric: &mut self.fabric,
+            port: Fabric::vpu_port(vpu),
+            ecpu_chan: &mut self.ecpu_chan,
+            ecpu_stats: &mut self.ecpu_stats,
+            local_issue,
+            t: t_start,
+            phases: PhaseBreakdown {
+                preamble,
+                ..PhaseBreakdown::default()
+            },
+            last_alloc_end: t_start,
+            writebacks: 0,
+        };
+        let kernel = self.lib.get(id).expect("resolved before execution");
+        kernel.run(args, &mut ctx)?;
+        let end = ctx.t;
+        let phases = ctx.phases;
+        let last_alloc_end = ctx.last_alloc_end;
+        let wbs = ctx.writebacks;
+        self.stats.writebacks.add(wbs);
+
+        // Mark the VPU's lines busy-computing until the kernel retires.
+        let vregs = self.cfg.vpu.vregs;
+        for i in vpu * vregs..(vpu + 1) * vregs {
+            let l = self.table.line_mut(i);
+            l.busy_until = l.busy_until.max(end);
+        }
+
+        // Address Table: WAR protection on sources until the last
+        // allocation, RAW/WAW protection on the destination until
+        // writeback completes.
+        for s in sources {
+            let entry = AtEntry {
+                start: s.addr,
+                end: s.end_addr(),
+                kind: OperandKind::Source,
+                protect_until: last_alloc_end,
+                matrix: s.phys_id,
+            };
+            if self.at.register(entry, now).is_err() {
+                return Err(KernelError::ShapeMismatch {
+                    what: "address table exhausted",
+                });
+            }
+        }
+        let dest_entry = AtEntry {
+            start: args.md.addr,
+            end: args.md.end_addr(),
+            kind: OperandKind::Destination,
+            protect_until: end,
+            matrix: args.md.phys_id,
+        };
+        if self.at.register(dest_entry, now).is_err() {
+            return Err(KernelError::ShapeMismatch {
+                what: "address table exhausted",
+            });
+        }
+
+        self.vpu_free_at[vpu] = end;
+        self.queue_done.push_back(end);
+        self.locks.prune(now.saturating_sub(1));
+        self.records.push(KernelRecord {
+            id,
+            name,
+            width: args.width,
+            vpu,
+            decode_start,
+            end,
+            phases,
+        });
+        Ok(end)
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn handle_kernel(
         &mut self,
@@ -455,33 +606,11 @@ impl ArcaneLlc {
             t_now = free_at;
         }
 
-        // Kernel Decoder: O(1) library lookup first (unknown func5 is
-        // the kill path), then operand resolution.
-        if let Err(e) = self.lib.get(id) {
-            return self.reject(e);
-        }
-        let Some(md_view) = self.map.resolve(md) else {
-            return self.reject(KernelError::UnboundMatrix { reg: md });
-        };
-        let args = ResolvedArgs {
-            width,
-            alpha,
-            beta,
-            md: md_view,
-            ms1: self.map.resolve(ms1),
-            ms2: self.map.resolve(ms2),
-            ms3: self.map.resolve(ms3),
-        };
-        let sources = {
-            let kernel = match self.lib.get(id) {
-                Ok(k) => k,
+        let (args, sources, name) =
+            match self.resolve_launch(id, width, alpha, beta, md, ms1, ms2, ms3) {
+                Ok(v) => v,
                 Err(e) => return self.reject(e),
             };
-            match kernel.validate(&args) {
-                Ok(s) => s,
-                Err(e) => return self.reject(e),
-            }
-        };
 
         // Preamble: IRQ entry, decode, scheduling, plus any pending xmr
         // work, booked on the (single) eCPU.
@@ -494,95 +623,146 @@ impl ArcaneLlc {
         self.ecpu_stats.wait_cycles += (decode_end - earliest).saturating_sub(preamble);
         self.ecpu_free_at = self.ecpu_free_at.max(decode_end);
 
-        // Scheduler: VPU choice and kernel start.
-        let vpu = self.choose_vpu();
-        let t_start = decode_end.max(self.vpu_free_at[vpu]);
-
-        let mut ctx = KernelCtx {
-            vpus: &mut self.vpus,
-            vpu_index: vpu,
-            vregs: self.cfg.vpu.vregs,
-            table: &mut self.table,
-            ext: &mut self.ext,
-            dma: self.dma,
-            crt,
-            locks: &mut self.locks,
-            fabric: &mut self.fabric,
-            port: Fabric::vpu_port(vpu),
-            ecpu_chan: &mut self.ecpu_chan,
-            ecpu_stats: &mut self.ecpu_stats,
-            t: t_start,
-            phases: PhaseBreakdown {
-                preamble,
-                ..PhaseBreakdown::default()
-            },
-            last_alloc_end: t_start,
-            writebacks: 0,
-        };
-        let kernel = self.lib.get(id).expect("checked above");
-        let name = kernel.name();
-        if let Err(e) = kernel.run(&args, &mut ctx) {
-            return self.reject(e);
-        }
-        let end = ctx.t;
-        let phases = ctx.phases;
-        let last_alloc_end = ctx.last_alloc_end;
-        let wbs = ctx.writebacks;
-        self.stats.writebacks.add(wbs);
-
-        // Mark the VPU's lines busy-computing until the kernel retires.
-        let vregs = self.cfg.vpu.vregs;
-        for i in vpu * vregs..(vpu + 1) * vregs {
-            let l = self.table.line_mut(i);
-            l.busy_until = l.busy_until.max(end);
-        }
-
-        // Address Table: WAR protection on sources until the last
-        // allocation, RAW/WAW protection on the destination until
-        // writeback completes.
-        for s in &sources {
-            let entry = AtEntry {
-                start: s.addr,
-                end: s.end_addr(),
-                kind: OperandKind::Source,
-                protect_until: last_alloc_end,
-                matrix: s.phys_id,
-            };
-            if self.at.register(entry, now).is_err() {
-                return self.reject(KernelError::ShapeMismatch {
-                    what: "address table exhausted",
-                });
-            }
-        }
-        let dest_entry = AtEntry {
-            start: md_view.addr,
-            end: md_view.end_addr(),
-            kind: OperandKind::Destination,
-            protect_until: end,
-            matrix: md_view.phys_id,
-        };
-        if self.at.register(dest_entry, now).is_err() {
-            return self.reject(KernelError::ShapeMismatch {
-                what: "address table exhausted",
-            });
-        }
-
-        self.vpu_free_at[vpu] = end;
-        self.queue_done.push_back(end);
-        self.locks.prune(now.saturating_sub(1));
-        self.records.push(KernelRecord {
+        match self.execute_launch(
             id,
             name,
-            width,
-            vpu,
+            &args,
+            &sources,
             decode_start,
-            end,
-            phases,
-        });
+            decode_end,
+            preamble,
+            now,
+            false,
+        ) {
+            Ok(_) => XifResponse::Accept {
+                writeback: None,
+                cycles: host_cycles,
+            },
+            Err(e) => self.reject(e),
+        }
+    }
+
+    /// The `xmb` handler: fetch one [`DescriptorBatch`] from external
+    /// memory over the fabric, decode it **once** on the eCPU, and
+    /// replay its descriptors (install bindings, resolve, schedule,
+    /// run). Each replayed kernel pays only the amortised
+    /// `desc_decode`/`desc_bind` tariff instead of the full legacy
+    /// preamble, and the per-VPU decoders keep vector issue and
+    /// scalar/element traffic off the shared eCPU calendar.
+    ///
+    /// The host handshake never blocks on the queue here: the decoder's
+    /// replay cursor absorbs kernel-queue back-pressure instead.
+    fn handle_batch(&mut self, addr: u32, words: u32, _token: u32, now: u64) -> XifResponse {
+        let crt = self.cfg.crt;
+
+        // Functional fetch of the encoded batch.
+        let mut bytes = vec![0u8; words as usize * 4];
+        if self.ext.read_bytes(addr, &mut bytes).is_err() {
+            return self.reject(KernelError::ShapeMismatch {
+                what: "descriptor batch lies outside external memory",
+            });
+        }
+        let stream: Vec<u32> = bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let batch = match DescriptorBatch::decode(&stream) {
+            Ok(b) => b,
+            Err(e) => return self.reject(KernelError::Launch(e)),
+        };
+
+        // The batch travels to the decoder as bursts on the fabric's
+        // issue-descriptor path (weaving into DMA gaps under the burst
+        // arbiters).
+        let earliest = now + crt.bridge_latency;
+        let grant = self
+            .fabric
+            .issue_batch(HOST_PORT, addr, earliest, bytes.len() as u64);
+        self.launch_stats.batches += 1;
+        self.launch_stats.batch_bytes += bytes.len() as u64;
+
+        let mut cursor = grant.end;
+        let mut entry = crt.batch_entry;
+        for desc in &batch.descriptors {
+            // Kernel-queue back-pressure, absorbed at the decoder: the
+            // replay cursor waits for a slot instead of the host.
+            while let Some(&front) = self.queue_done.front() {
+                if front <= cursor {
+                    self.queue_done.pop_front();
+                } else {
+                    break;
+                }
+            }
+            if self.queue_done.len() >= self.cfg.kernel_queue_capacity {
+                let free_at =
+                    self.queue_done[self.queue_done.len() - self.cfg.kernel_queue_capacity];
+                cursor = cursor.max(free_at);
+            }
+
+            // Install the descriptor's fresh bindings (renaming applies
+            // exactly as it would for the equivalent xmr train).
+            for b in &desc.bindings {
+                self.map.bind(
+                    b.reg,
+                    b.addr,
+                    b.rows as usize,
+                    b.cols as usize,
+                    (b.stride as usize).max(1),
+                    desc.width,
+                );
+            }
+            self.launch_stats.bindings += desc.bindings.len() as u64;
+
+            let (args, sources, name) = match self.resolve_launch(
+                desc.kernel,
+                desc.width,
+                desc.alpha,
+                desc.beta,
+                desc.md,
+                desc.ms1,
+                desc.ms2,
+                desc.ms3,
+            ) {
+                Ok(v) => v,
+                Err(e) => return self.reject(e),
+            };
+
+            // Amortised preamble: batch entry once, then the replay
+            // tariff per descriptor.
+            let preamble = entry + crt.desc_decode + crt.desc_bind * desc.bindings.len() as u64;
+            entry = 0;
+            let (decode_start, decode_end) =
+                self.ecpu_chan.reserve_fragmented(cursor, preamble, 16);
+            self.ecpu_stats.requests += 1;
+            self.ecpu_stats.busy_cycles += preamble;
+            self.ecpu_stats.wait_cycles += (decode_end - cursor).saturating_sub(preamble);
+            self.ecpu_free_at = self.ecpu_free_at.max(decode_end);
+            self.launch_stats.descriptors += 1;
+            self.launch_stats.decode_cycles += preamble;
+
+            // Hazard windows age against the decoder's replay cursor
+            // (not the host's launch time): the queue back-pressure
+            // above bounds the AT's live entries exactly as the host
+            // handshake does on the legacy path.
+            if let Err(e) = self.execute_launch(
+                desc.kernel,
+                name,
+                &args,
+                &sources,
+                decode_start,
+                decode_end,
+                preamble,
+                cursor,
+                true,
+            ) {
+                return self.reject(e);
+            }
+            cursor = decode_end;
+        }
 
         XifResponse::Accept {
             writeback: None,
-            cycles: host_cycles,
+            cycles: crt.bridge_latency,
         }
     }
 
@@ -616,6 +796,14 @@ impl Coprocessor for ArcaneLlc {
             Ok(x) => x,
             Err(_) => return XifResponse::Reject,
         };
+        // Under the descriptor launch pipeline, func5 = 30 is the xmb
+        // launch-batch instruction; its register values are a plain
+        // (addr, words, token) triple, not packed kernel operands. In
+        // legacy mode the id stays on the ordinary kernel path (and is
+        // rejected as unknown, exactly as before).
+        if x.func5 == FUNC5_XMB && self.cfg.launch == LaunchMode::Descriptor {
+            return self.handle_batch(rs1, rs2, rs3, now);
+        }
         let op = match XmnmcOp::decode(&x, rs1, rs2, rs3) {
             Ok(op) => op,
             Err(_) => return XifResponse::Reject,

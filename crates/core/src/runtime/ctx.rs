@@ -42,6 +42,11 @@ pub struct KernelCtx<'a> {
     pub(crate) port: usize,
     pub(crate) ecpu_chan: &'a mut ResourceChannel,
     pub(crate) ecpu_stats: &'a mut PortStats,
+    /// Descriptor launch pipeline: the per-VPU decoder front end issues
+    /// vector instructions and services scalar-register/element traffic
+    /// locally, so those cycles are charged to this kernel's cursor
+    /// instead of being serialised on the shared eCPU calendar.
+    pub(crate) local_issue: bool,
     pub(crate) t: u64,
     pub(crate) phases: PhaseBreakdown,
     pub(crate) last_alloc_end: u64,
@@ -93,12 +98,18 @@ impl<'a> KernelCtx<'a> {
     /// instruction); under the burst arbiters the instructions travel
     /// as dispatch descriptors over the shared fabric to the VPU's own
     /// sequencer, contending with DMA bursts at burst granularity.
+    /// Under the descriptor launch pipeline the per-VPU decoder replays
+    /// the predecoded micro-program itself: the same per-instruction
+    /// cost, but on this kernel's private cursor rather than the shared
+    /// eCPU calendar.
     fn dispatch_work(&mut self, n_instrs: u64) {
         if self.fabric.issue_on_fabric() {
             let t0 = self.t;
             let grant = self.fabric.issue(self.port, self.t, n_instrs);
             self.t = grant.end;
             self.phases.charge(Phase::Compute, grant.end - t0);
+        } else if self.local_issue {
+            self.charge(Phase::Compute, self.crt.vinstr_issue * n_instrs);
         } else {
             self.ecpu_work(Phase::Compute, self.crt.vinstr_issue * n_instrs);
         }
@@ -131,19 +142,31 @@ impl<'a> KernelCtx<'a> {
     }
 
     /// Writes a VPU scalar register (filter taps, activation slopes, …).
+    /// Charged to the shared eCPU on the legacy launch path, to the
+    /// VPU-side descriptor decoder under the batched pipeline.
     pub fn set_scalar(&mut self, rs: Sr, value: u32) {
         self.vpus[self.vpu_index].set_sreg(rs, value);
-        self.ecpu_work(Phase::Compute, self.crt.sreg_write);
+        if self.local_issue {
+            self.charge(Phase::Compute, self.crt.sreg_write);
+        } else {
+            self.ecpu_work(Phase::Compute, self.crt.sreg_write);
+        }
     }
 
     /// Reads element `idx` of vector register `vreg` through the eCPU
-    /// port (used by GeMM to fetch the `A` scalars).
+    /// port (used by GeMM to fetch the `A` scalars) — or through the
+    /// VPU-side decoder under the batched launch pipeline, where the
+    /// read never touches the shared eCPU calendar.
     ///
     /// # Panics
     ///
     /// Panics if the element lies outside the register.
     pub fn peek(&mut self, vreg: Vr, idx: usize, sew: Sew) -> i64 {
-        self.ecpu_work(Phase::Compute, self.crt.elem_read);
+        if self.local_issue {
+            self.charge(Phase::Compute, self.crt.elem_read);
+        } else {
+            self.ecpu_work(Phase::Compute, self.crt.elem_read);
+        }
         let line = self.vpus[self.vpu_index].line(vreg.index() as usize);
         let o = idx * sew.bytes();
         match sew {
@@ -512,6 +535,7 @@ mod tests {
             port: Fabric::vpu_port(0),
             ecpu_chan: &mut sh.ecpu,
             ecpu_stats: &mut sh.ecpu_stats,
+            local_issue: false,
             t: 1000,
             phases: PhaseBreakdown::default(),
             last_alloc_end: 0,
@@ -618,6 +642,28 @@ mod tests {
         .unwrap();
         assert!(c.phases.compute > before);
         assert_eq!(c.peek(Vr::new(1).unwrap(), 3, Sew::Word), 7);
+    }
+
+    #[test]
+    fn local_issue_keeps_control_traffic_off_the_ecpu() {
+        let (mut vpus, mut table, mut ext, mut locks) = fixture();
+        let mut chans = shared();
+        let mut c = ctx(&mut vpus, &mut table, &mut ext, &mut locks, &mut chans);
+        c.local_issue = true;
+        c.set_vl(8, Sew::Word).unwrap();
+        c.set_scalar(Sr::new(0).unwrap(), 7);
+        c.exec(&[VInstr::BroadcastX {
+            vd: Vr::new(1).unwrap(),
+            rs: Sr::new(0).unwrap(),
+        }])
+        .unwrap();
+        assert_eq!(c.peek(Vr::new(1).unwrap(), 0, Sew::Word), 7);
+        assert!(c.phases.compute > 0, "cycles still charged to the kernel");
+        assert!(
+            chans.ecpu.is_empty(),
+            "descriptor-mode control traffic must not book the eCPU"
+        );
+        assert_eq!(chans.ecpu_stats.requests, 0);
     }
 
     #[test]

@@ -75,6 +75,24 @@ impl FabricConfig {
         }
     }
 
+    /// Cycles a payload of `bytes` occupies a bank at the configured
+    /// bus width (minimum one cycle for a non-empty payload). This is
+    /// the exact fuel a launch-descriptor batch burns on its way to the
+    /// eCPU's decoder.
+    pub const fn payload_cycles(&self, bytes: u64) -> u64 {
+        let bpc = if self.bytes_per_cycle == 0 {
+            1
+        } else {
+            self.bytes_per_cycle
+        };
+        let c = bytes.div_ceil(bpc);
+        if c == 0 {
+            1
+        } else {
+            c
+        }
+    }
+
     /// Cycles one vector-instruction dispatch descriptor occupies a
     /// bank (burst arbiters only).
     pub const fn issue_cycles(&self) -> u64 {
@@ -458,6 +476,24 @@ impl Fabric {
         self.record(port, earliest, duration, grant)
     }
 
+    /// Books the transfer of one launch-descriptor batch of `bytes`
+    /// from the table at `addr` to the eCPU's decoder, for `port`.
+    ///
+    /// Batches are control traffic on the *shared* path under every
+    /// arbiter: whole-phase grants them as one contiguous window (they
+    /// contend with kernel DMA, unlike the host's dedicated slave
+    /// path), while the burst arbiters weave them burst-by-burst into
+    /// whatever gaps concurrent DMA trains left — which is what keeps
+    /// batch fetches off the critical path of in-flight allocations.
+    pub fn issue_batch(&mut self, port: usize, addr: u32, earliest: u64, bytes: u64) -> Grant {
+        let duration = self.cfg.payload_cycles(bytes);
+        let burst = self.cfg.burst_cycles();
+        let bank = self.bank_of_addr(addr);
+        let policy = self.cfg.arbiter.policy();
+        let grant = policy.grant_kernel(&mut self.banks[bank], earliest, duration, burst);
+        self.record(port, earliest, duration, grant)
+    }
+
     /// Per-port traffic statistics, indexed by port.
     pub fn port_stats(&self) -> &[PortStats] {
         &self.ports
@@ -572,6 +608,35 @@ mod tests {
         let g = f.issue(1, 0, 3);
         assert_eq!(g.end - g.start, 3 * f.config().issue_cycles());
         assert!(!Fabric::new(cfg(ArbiterKind::WholePhase), 2).issue_on_fabric());
+    }
+
+    #[test]
+    fn issue_batch_contends_on_the_shared_path_under_whole_phase() {
+        let mut f = Fabric::new(cfg(ArbiterKind::WholePhase), 2);
+        f.request(1, 0x2000_0000, 0, 1000);
+        // A 64-byte batch = 16 payload cycles on the 4 B/cyc bus,
+        // granted contiguously after the booked DMA phase.
+        let g = f.issue_batch(HOST_PORT, 0x2000_0000, 0, 64);
+        assert_eq!((g.start, g.end), (1000, 1016));
+        assert_eq!(g.bursts, 1, "whole-phase grants batches contiguously");
+    }
+
+    #[test]
+    fn issue_batch_weaves_into_gaps_under_round_robin() {
+        let mut f = Fabric::new(cfg(ArbiterKind::RoundRobinBurst), 2);
+        f.request(1, 0x2000_0000, 0, 10);
+        f.request(1, 0x2000_0000, 20, 10); // gap [10, 20)
+        let g = f.issue_batch(HOST_PORT, 0x2000_0000, 0, 64);
+        assert_eq!(g.start, 10, "batch fills the DMA gap");
+        assert!(g.bursts >= 2);
+    }
+
+    #[test]
+    fn payload_cycles_is_exact() {
+        let c = FabricConfig::default_config();
+        assert_eq!(c.payload_cycles(0), 1);
+        assert_eq!(c.payload_cycles(4), 1);
+        assert_eq!(c.payload_cycles(65), 17);
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //! * [`xmnmc`] — the paper's software-defined in-cache matrix ISA
 //!   (RISC-V custom-2 opcode `0x5b`): `xmr` matrix-reserve and `xmkN`
 //!   matrix-kernel instructions.
+//! * [`launch`] — the batched kernel-launch pipeline: compact
+//!   [`launch::LaunchDescriptor`] records and [`launch::DescriptorBatch`]
+//!   framing that amortise the eCPU's per-launch software preamble, plus
+//!   the `xmb` launch-batch instruction.
 //! * [`vector`] — the NM-Carus-style near-memory vector ISA that the
 //!   cache-resident runtime uses to program the vector processing units.
 //! * [`asm`] — a small two-pass assembler with labels and pseudo
@@ -43,6 +47,7 @@
 
 pub mod asm;
 pub mod exec;
+pub mod launch;
 pub mod reg;
 pub mod rv32;
 pub mod rvc;

@@ -1,15 +1,33 @@
 //! Graph → kernel-chain compiler: lowers a [`LayerGraph`] to the
 //! `xmnmc` instruction stream of a host program.
 //!
-//! Lowering follows the host-program idiom of the paper's Listing 1
-//! (and `arcane_system::programs::offload`): for every kernel the host
-//! materialises the three packed operand registers, issues the `xmr`
-//! reservations for the operands the kernel touches, then issues the
-//! `xmkN` itself. A fixed trio of logical matrix registers
-//! (`m0` = destination, `m1`/`m2` = sources) is rebound before every
-//! kernel — the C-RT's renaming gives each binding a fresh physical
-//! identity, so chained kernels keep their captured operands while the
-//! host moves on (§IV-B1).
+//! Two launch backends share the planner and implement the same
+//! per-node slicing rules ([`CompileOptions::launch`]); the rules are
+//! written out twice (`Emitter::node` and `lower_to_launches`) because
+//! the legacy stream must stay byte-identical to the pre-descriptor
+//! tree — keep the two walks in lockstep when adding node types (the
+//! cross-mode tests below and the suite's bit-exact runs pin every
+//! current node kind in both backends):
+//!
+//! * **Legacy** (default) — the host-program idiom of the paper's
+//!   Listing 1 (and `arcane_system::programs::offload`): for every
+//!   kernel the host materialises the three packed operand registers,
+//!   issues the `xmr` reservations for the operands the kernel touches,
+//!   then issues the `xmkN` itself. A fixed trio of logical matrix
+//!   registers (`m0` = destination, `m1`/`m2` = sources) is rebound
+//!   before every kernel — the C-RT's renaming gives each binding a
+//!   fresh physical identity, so chained kernels keep their captured
+//!   operands while the host moves on (§IV-B1). This backend's
+//!   instruction stream is byte-identical to the pre-descriptor tree.
+//! * **Descriptor** — the batched launch pipeline (ARCHITECTURE.md
+//!   "Launch pipeline"): a linear-scan tensor-register allocator keeps
+//!   hot operand regions bound across the whole kernel chain over all
+//!   sixteen matrix registers, and each node lowers to **one**
+//!   [`DescriptorBatch`] covering its VPU slices instead of a
+//!   `pack_xmr`/`xmkN` train per slice. The encoded batches live in a
+//!   table region past the tensor arena ([`NnProgram::tables`], seeded
+//!   by the runner like any other program data), and the host launches
+//!   each with a single `xmb`.
 //!
 //! **Multi-VPU dispatch**: with [`CompileOptions::instances`] > 1 the
 //! compiler splits every row-parallel node (GeMM, residual add,
@@ -22,15 +40,54 @@ use crate::graph::{LayerGraph, Node, TensorId};
 use crate::plan::{GraphLayout, Placement};
 use arcane_fabric::{HostTraffic, HostTrafficGen};
 use arcane_isa::asm::Asm;
+use arcane_isa::launch::{
+    xmb_instr, DescriptorBatch, LaunchDescriptor, LaunchMode, OperandBinding,
+};
 use arcane_isa::reg::{A0, A1, A2, T0, T1};
 use arcane_isa::rv32::LoadOp;
-use arcane_isa::xmnmc::{self, kernel_id, MatReg};
+use arcane_isa::xmnmc::{self, kernel_id, MatReg, NUM_MAT_REGS};
 use arcane_sim::Sew;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
 
 /// Cache-line size the traffic window is laid out in (= VLEN = the
 /// arena's placement alignment, so the scratch window always starts
 /// on a fresh line past the tensors).
 const LINE_BYTES: u32 = crate::plan::ALIGN;
+
+/// Error produced by [`compile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompileError {
+    /// The graph marks no output tensor, so the program would have
+    /// nothing to synchronise on.
+    NoOutputs,
+    /// `instances` was zero.
+    ZeroInstances,
+    /// A tensor (or row slice) exceeds the 16-bit row/column fields of
+    /// the `xmr`/descriptor binding encoding.
+    DimensionTooLarge {
+        /// Rows of the offending region.
+        rows: usize,
+        /// Columns of the offending region.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NoOutputs => f.write_str("graph needs at least one output"),
+            CompileError::ZeroInstances => f.write_str("instances must be >= 1"),
+            CompileError::DimensionTooLarge { rows, cols } => write!(
+                f,
+                "tensor dimension {rows}x{cols} exceeds the 16-bit xmr encoding"
+            ),
+        }
+    }
+}
+
+impl Error for CompileError {}
 
 /// Compiler knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +101,9 @@ pub struct CompileOptions {
     /// arena (one word store per cache line) — the mixed host/kernel
     /// load under which scheduler and arbiter policies diverge.
     pub host_traffic: Option<HostTraffic>,
+    /// Launch backend: the paper's per-instruction `xmr`/`xmkN` path
+    /// (default) or the batched descriptor pipeline (DESIGN.md §4.6).
+    pub launch: LaunchMode,
 }
 
 impl Default for CompileOptions {
@@ -51,6 +111,7 @@ impl Default for CompileOptions {
         CompileOptions {
             instances: 1,
             host_traffic: None,
+            launch: LaunchMode::Legacy,
         }
     }
 }
@@ -63,6 +124,27 @@ impl CompileOptions {
             ..CompileOptions::default()
         }
     }
+
+    /// Options with `instances`-way splitting on the descriptor-batch
+    /// launch pipeline.
+    pub fn descriptor(instances: usize) -> Self {
+        CompileOptions {
+            instances,
+            launch: LaunchMode::Descriptor,
+            ..CompileOptions::default()
+        }
+    }
+}
+
+/// One encoded descriptor table: seeded into external memory at `addr`
+/// before the program runs (the runner does this, the way a driver
+/// prepares a command ring).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DescriptorTable {
+    /// Base address of the table in external memory.
+    pub addr: u32,
+    /// The encoded batch words.
+    pub words: Vec<u32>,
 }
 
 /// A compiled graph: the host program plus its memory plan.
@@ -72,15 +154,27 @@ pub struct NnProgram {
     pub asm: Asm,
     /// Tensor placements backing the program's operand addresses.
     pub layout: GraphLayout,
-    /// `xmkN` invocations emitted.
+    /// `xmkN` invocations emitted (descriptors under the batched
+    /// pipeline).
     pub kernels: usize,
-    /// `xmr` reservations emitted.
+    /// Operand-region bindings emitted: `xmr` reservations on the
+    /// legacy path, fresh descriptor bindings under the batched
+    /// pipeline (where the register allocator's reuse makes this much
+    /// smaller than `3 × kernels`).
     pub reservations: usize,
     /// Host store instructions injected by the traffic knob.
     pub host_stores: usize,
     /// End of everything the program touches in external memory
-    /// (tensor arena plus the host-traffic scratch window).
+    /// (tensor arena, descriptor tables, host-traffic scratch window).
     pub mem_end: u32,
+    /// Launch backend this program was compiled for (the SoC must run
+    /// with the matching [`arcane_core::ArcaneConfig::launch`]).
+    pub launch: LaunchMode,
+    /// Descriptor batches emitted (zero on the legacy path).
+    pub batches: usize,
+    /// Encoded descriptor tables to seed before running (empty on the
+    /// legacy path).
+    pub tables: Vec<DescriptorTable>,
 }
 
 /// Splits `total` rows into `n` (clamped to `total`) contiguous chunks,
@@ -97,6 +191,18 @@ pub fn split_rows(total: usize, n: usize) -> Vec<(usize, usize)> {
         y += len;
     }
     out
+}
+
+fn align_line(x: u32) -> u32 {
+    x.next_multiple_of(LINE_BYTES)
+}
+
+fn check_dims(rows: usize, cols: usize) -> Result<(), CompileError> {
+    if rows <= u16::MAX as usize && cols <= u16::MAX as usize {
+        Ok(())
+    } else {
+        Err(CompileError::DimensionTooLarge { rows, cols })
+    }
 }
 
 struct Emitter<'g> {
@@ -127,25 +233,29 @@ impl Emitter<'_> {
     }
 
     /// `xmr` binding `reg` to a dense `rows × cols` region at `addr`.
-    fn xmr(&mut self, reg: u8, addr: u32, rows: usize, cols: usize) {
-        assert!(
-            rows <= u16::MAX as usize && cols <= u16::MAX as usize,
-            "tensor dimension exceeds the xmr encoding"
-        );
+    fn xmr(&mut self, reg: u8, addr: u32, rows: usize, cols: usize) -> Result<(), CompileError> {
+        check_dims(rows, cols)?;
         self.vals(xmnmc::pack_xmr(addr, 1, m(reg), cols as u16, rows as u16));
         self.asm.raw(xmnmc::xmr_instr(self.sew, A0, A1, A2));
         self.reservations += 1;
+        Ok(())
     }
 
     /// Binds `reg` to a row slice `[y0, y0 + rows)` of a placement.
-    fn bind_slice(&mut self, reg: u8, p: Placement, y0: usize, rows: usize) {
-        self.xmr(reg, p.row_addr(y0, self.esz), rows, p.cols);
+    fn bind_slice(
+        &mut self,
+        reg: u8,
+        p: Placement,
+        y0: usize,
+        rows: usize,
+    ) -> Result<(), CompileError> {
+        self.xmr(reg, p.row_addr(y0, self.esz), rows, p.cols)
     }
 
     /// Binds `reg` to a whole tensor.
-    fn bind(&mut self, reg: u8, t: TensorId) {
+    fn bind(&mut self, reg: u8, t: TensorId) -> Result<(), CompileError> {
         let p = self.layout.place(t);
-        self.xmr(reg, p.addr, p.rows, p.cols);
+        self.xmr(reg, p.addr, p.rows, p.cols)
     }
 
     /// `xmkN` on the currently bound registers.
@@ -194,26 +304,27 @@ impl Emitter<'_> {
         input: TensorId,
         dest: TensorId,
         instances: usize,
-    ) {
+    ) -> Result<(), CompileError> {
         let pi = self.layout.place(input);
         let pd = self.layout.place(dest);
         for (y0, rows) in split_rows(pd.rows, instances) {
-            self.bind_slice(MS1, pi, y0, rows);
-            self.bind_slice(MD, pd, y0, rows);
+            self.bind_slice(MS1, pi, y0, rows)?;
+            self.bind_slice(MD, pd, y0, rows)?;
             self.xmk(id, alpha, beta);
         }
+        Ok(())
     }
 
-    fn node(&mut self, node: &Node, instances: usize) {
+    fn node(&mut self, node: &Node, instances: usize) -> Result<(), CompileError> {
         match *node {
             Node::Conv2d {
                 input,
                 filter,
                 dest,
             } => {
-                self.bind(MS1, input);
-                self.bind(MS2, filter);
-                self.bind(MD, dest);
+                self.bind(MS1, input)?;
+                self.bind(MS2, filter)?;
+                self.bind(MD, dest)?;
                 self.xmk(kernel_id::CONV2D, 0, 0);
             }
             Node::DepthwiseConv {
@@ -227,19 +338,19 @@ impl Emitter<'_> {
                 let pd = self.layout.place(dest);
                 let (h, k, oh) = (pi.rows / channels, pf.rows / channels, pd.rows / channels);
                 for c in 0..channels {
-                    self.bind_slice(MS1, pi, c * h, h);
-                    self.bind_slice(MS2, pf, c * k, k);
-                    self.bind_slice(MD, pd, c * oh, oh);
+                    self.bind_slice(MS1, pi, c * h, h)?;
+                    self.bind_slice(MS2, pf, c * k, k)?;
+                    self.bind_slice(MD, pd, c * oh, oh)?;
                     self.xmk(kernel_id::CONV2D, 0, 0);
                 }
             }
             Node::Gemm { a, b, dest } => {
                 let pa = self.layout.place(a);
                 let pd = self.layout.place(dest);
-                self.bind(MS2, b);
+                self.bind(MS2, b)?;
                 for (y0, rows) in split_rows(pa.rows, instances) {
-                    self.bind_slice(MS1, pa, y0, rows);
-                    self.bind_slice(MD, pd, y0, rows);
+                    self.bind_slice(MS1, pa, y0, rows)?;
+                    self.bind_slice(MD, pd, y0, rows)?;
                     self.xmk(kernel_id::GEMM, 1, 0);
                 }
             }
@@ -248,9 +359,9 @@ impl Emitter<'_> {
                 let pb = self.layout.place(b);
                 let pd = self.layout.place(dest);
                 for (y0, rows) in split_rows(pd.rows, instances) {
-                    self.bind_slice(MS1, pa, y0, rows);
-                    self.bind_slice(MS2, pb, y0, rows);
-                    self.bind_slice(MD, pd, y0, rows);
+                    self.bind_slice(MS1, pa, y0, rows)?;
+                    self.bind_slice(MS2, pb, y0, rows)?;
+                    self.bind_slice(MD, pd, y0, rows)?;
                     self.xmk(kernel_id::MAT_ADD, 0, 0);
                 }
             }
@@ -259,9 +370,9 @@ impl Emitter<'_> {
                 mul,
                 shift,
                 dest,
-            } => self.unary_rowwise(kernel_id::MAT_SCALE, mul, shift, input, dest, instances),
+            } => self.unary_rowwise(kernel_id::MAT_SCALE, mul, shift, input, dest, instances)?,
             Node::LeakyRelu { input, shift, dest } => {
-                self.unary_rowwise(kernel_id::LEAKY_RELU, shift, 0, input, dest, instances)
+                self.unary_rowwise(kernel_id::LEAKY_RELU, shift, 0, input, dest, instances)?
             }
             Node::MaxPool {
                 input,
@@ -269,16 +380,17 @@ impl Emitter<'_> {
                 stride,
                 dest,
             } => {
-                self.bind(MS1, input);
-                self.bind(MD, dest);
+                self.bind(MS1, input)?;
+                self.bind(MD, dest)?;
                 self.xmk(kernel_id::MAXPOOL, stride as i16, win as i16);
             }
             Node::Transpose { input, dest } => {
-                self.bind(MS1, input);
-                self.bind(MD, dest);
+                self.bind(MS1, input)?;
+                self.bind(MD, dest)?;
                 self.xmk(kernel_id::TRANSPOSE, 0, 0);
             }
         }
+        Ok(())
     }
 }
 
@@ -290,29 +402,464 @@ fn load_op(sew: Sew) -> LoadOp {
     }
 }
 
-/// Compiles `graph` into a host program whose tensors live in an arena
-/// starting at `base`.
-///
-/// The emitted program issues the whole kernel chain, then performs one
-/// synchronising load of the first element of every output tensor —
-/// the Address Table stalls each load until the producing kernel's
-/// writeback retires (the paper's synchronisation idiom).
-///
-/// # Panics
-///
-/// Panics if the graph has no outputs or a tensor dimension exceeds
-/// the `xmr` encoding.
-pub fn compile(graph: &LayerGraph, base: u32, opts: &CompileOptions) -> NnProgram {
-    assert!(
-        !graph.outputs().is_empty(),
-        "graph needs at least one output"
-    );
-    assert!(opts.instances >= 1, "instances must be >= 1");
-    let layout = GraphLayout::plan(graph, base);
+// ---------------------------------------------------------------------
+// Descriptor backend: launch list, linear-scan allocation, batching.
+// ---------------------------------------------------------------------
+
+/// A dense operand region a kernel binds: the allocator's unit of
+/// reuse. Two launches naming the same region share one live binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Region {
+    addr: u32,
+    rows: u16,
+    cols: u16,
+}
+
+impl Region {
+    fn new(addr: u32, rows: usize, cols: usize) -> Result<Region, CompileError> {
+        check_dims(rows, cols)?;
+        Ok(Region {
+            addr,
+            rows: rows as u16,
+            cols: cols as u16,
+        })
+    }
+
+    fn of(p: Placement) -> Result<Region, CompileError> {
+        Region::new(p.addr, p.rows, p.cols)
+    }
+
+    fn slice(p: Placement, y0: usize, rows: usize, esz: usize) -> Result<Region, CompileError> {
+        Region::new(p.row_addr(y0, esz), rows, p.cols)
+    }
+}
+
+/// One kernel invocation in region form (`ms2 == ms1` for kernels that
+/// never read a second source — the slot is bound, never read, exactly
+/// like the legacy backend's `ms3 = ms1` idiom).
+#[derive(Debug, Clone, Copy)]
+struct Launch {
+    kernel: u8,
+    alpha: i16,
+    beta: i16,
+    md: Region,
+    ms1: Region,
+    ms2: Region,
+}
+
+impl Launch {
+    fn regions(&self) -> [Region; 3] {
+        [self.ms1, self.ms2, self.md]
+    }
+}
+
+/// Walks the graph with the same per-node slicing rules as the legacy
+/// emitter and returns the flat launch list plus the number of launches
+/// each node contributed (= the batch framing).
+fn lower_to_launches(
+    graph: &LayerGraph,
+    layout: &GraphLayout,
+    esz: usize,
+    instances: usize,
+) -> Result<(Vec<Launch>, Vec<usize>), CompileError> {
+    let mut launches = Vec::new();
+    let mut per_node = Vec::with_capacity(graph.nodes().len());
+    let unary = |launches: &mut Vec<Launch>,
+                 id: u8,
+                 alpha: i16,
+                 beta: i16,
+                 input: TensorId,
+                 dest: TensorId|
+     -> Result<usize, CompileError> {
+        let pi = layout.place(input);
+        let pd = layout.place(dest);
+        let slices = split_rows(pd.rows, instances);
+        for &(y0, rows) in &slices {
+            let ms1 = Region::slice(pi, y0, rows, esz)?;
+            launches.push(Launch {
+                kernel: id,
+                alpha,
+                beta,
+                md: Region::slice(pd, y0, rows, esz)?,
+                ms1,
+                ms2: ms1,
+            });
+        }
+        Ok(slices.len())
+    };
+    for node in graph.nodes() {
+        let n = match *node {
+            Node::Conv2d {
+                input,
+                filter,
+                dest,
+            } => {
+                let ms1 = Region::of(layout.place(input))?;
+                launches.push(Launch {
+                    kernel: kernel_id::CONV2D,
+                    alpha: 0,
+                    beta: 0,
+                    md: Region::of(layout.place(dest))?,
+                    ms1,
+                    ms2: Region::of(layout.place(filter))?,
+                });
+                1
+            }
+            Node::DepthwiseConv {
+                input,
+                filter,
+                channels,
+                dest,
+            } => {
+                let pi = layout.place(input);
+                let pf = layout.place(filter);
+                let pd = layout.place(dest);
+                let (h, k, oh) = (pi.rows / channels, pf.rows / channels, pd.rows / channels);
+                for c in 0..channels {
+                    launches.push(Launch {
+                        kernel: kernel_id::CONV2D,
+                        alpha: 0,
+                        beta: 0,
+                        md: Region::slice(pd, c * oh, oh, esz)?,
+                        ms1: Region::slice(pi, c * h, h, esz)?,
+                        ms2: Region::slice(pf, c * k, k, esz)?,
+                    });
+                }
+                channels
+            }
+            Node::Gemm { a, b, dest } => {
+                let pa = layout.place(a);
+                let pd = layout.place(dest);
+                let ms2 = Region::of(layout.place(b))?;
+                let slices = split_rows(pa.rows, instances);
+                for &(y0, rows) in &slices {
+                    launches.push(Launch {
+                        kernel: kernel_id::GEMM,
+                        alpha: 1,
+                        beta: 0,
+                        md: Region::slice(pd, y0, rows, esz)?,
+                        ms1: Region::slice(pa, y0, rows, esz)?,
+                        ms2,
+                    });
+                }
+                slices.len()
+            }
+            Node::ResidualAdd { a, b, dest } => {
+                let pa = layout.place(a);
+                let pb = layout.place(b);
+                let pd = layout.place(dest);
+                let slices = split_rows(pd.rows, instances);
+                for &(y0, rows) in &slices {
+                    launches.push(Launch {
+                        kernel: kernel_id::MAT_ADD,
+                        alpha: 0,
+                        beta: 0,
+                        md: Region::slice(pd, y0, rows, esz)?,
+                        ms1: Region::slice(pa, y0, rows, esz)?,
+                        ms2: Region::slice(pb, y0, rows, esz)?,
+                    });
+                }
+                slices.len()
+            }
+            Node::Requantise {
+                input,
+                mul,
+                shift,
+                dest,
+            } => unary(&mut launches, kernel_id::MAT_SCALE, mul, shift, input, dest)?,
+            Node::LeakyRelu { input, shift, dest } => {
+                unary(&mut launches, kernel_id::LEAKY_RELU, shift, 0, input, dest)?
+            }
+            Node::MaxPool {
+                input,
+                win,
+                stride,
+                dest,
+            } => {
+                let ms1 = Region::of(layout.place(input))?;
+                launches.push(Launch {
+                    kernel: kernel_id::MAXPOOL,
+                    alpha: stride as i16,
+                    beta: win as i16,
+                    md: Region::of(layout.place(dest))?,
+                    ms1,
+                    ms2: ms1,
+                });
+                1
+            }
+            Node::Transpose { input, dest } => {
+                let ms1 = Region::of(layout.place(input))?;
+                launches.push(Launch {
+                    kernel: kernel_id::TRANSPOSE,
+                    alpha: 0,
+                    beta: 0,
+                    md: Region::of(layout.place(dest))?,
+                    ms1,
+                    ms2: ms1,
+                });
+                1
+            }
+        };
+        per_node.push(n);
+    }
+    Ok((launches, per_node))
+}
+
+/// Linear-scan allocation of operand regions onto the sixteen logical
+/// matrix registers: a region already live in a register is reused with
+/// no fresh binding; a fresh binding takes a free register or evicts
+/// the live region whose next use is furthest away (never one the
+/// current launch needs). This is what keeps hot tensors — weights
+/// shared by every slice, chain intermediates — bound across the whole
+/// kernel chain.
+struct RegAlloc {
+    contents: [Option<Region>; NUM_MAT_REGS as usize],
+    /// Remaining use positions per region, front = soonest.
+    next_use: HashMap<Region, std::collections::VecDeque<usize>>,
+}
+
+impl RegAlloc {
+    fn new(launches: &[Launch]) -> Self {
+        let mut next_use: HashMap<Region, std::collections::VecDeque<usize>> = HashMap::new();
+        for (p, l) in launches.iter().enumerate() {
+            let mut seen: [Option<Region>; 3] = [None; 3];
+            for (i, r) in l.regions().into_iter().enumerate() {
+                if !seen[..i].contains(&Some(r)) {
+                    next_use.entry(r).or_default().push_back(p);
+                }
+                seen[i] = Some(r);
+            }
+        }
+        RegAlloc {
+            contents: [None; NUM_MAT_REGS as usize],
+            next_use,
+        }
+    }
+
+    fn reg_of(&self, r: Region) -> Option<MatReg> {
+        self.contents
+            .iter()
+            .position(|c| *c == Some(r))
+            .map(|i| m(i as u8))
+    }
+
+    /// Allocates every distinct region of `launch` (position `p`),
+    /// returning the fresh bindings it needs, in operand order.
+    fn allocate(&mut self, p: usize, launch: &Launch) -> Vec<OperandBinding> {
+        let mut fresh = Vec::new();
+        let regions = launch.regions();
+        let mut distinct: Vec<Region> = Vec::with_capacity(3);
+        for r in regions {
+            if !distinct.contains(&r) {
+                distinct.push(r);
+            }
+        }
+        // This position is consumed for every distinct region first, so
+        // eviction decisions below see only *future* uses.
+        for r in &distinct {
+            let q = self.next_use.get_mut(r).expect("region was indexed");
+            debug_assert_eq!(q.front(), Some(&p));
+            q.pop_front();
+        }
+        for r in distinct {
+            if self.reg_of(r).is_some() {
+                continue; // hot region: binding stays live, no xmr cost
+            }
+            let slot = self.pick_slot(&regions);
+            self.contents[slot] = Some(r);
+            fresh.push(OperandBinding {
+                reg: m(slot as u8),
+                addr: r.addr,
+                stride: 1,
+                cols: r.cols,
+                rows: r.rows,
+            });
+        }
+        fresh
+    }
+
+    /// A free register, or the live region with the furthest next use
+    /// that the current launch does not name.
+    fn pick_slot(&self, in_use: &[Region; 3]) -> usize {
+        if let Some(free) = self.contents.iter().position(Option::is_none) {
+            return free;
+        }
+        let mut best = None;
+        for (i, c) in self.contents.iter().enumerate() {
+            let r = c.expect("no free slot");
+            if in_use.contains(&r) {
+                continue;
+            }
+            let next = self
+                .next_use
+                .get(&r)
+                .and_then(|q| q.front().copied())
+                .unwrap_or(usize::MAX);
+            if best.is_none_or(|(_, n)| next > n) {
+                best = Some((i, next));
+            }
+        }
+        best.expect("more matrix registers than launch operands").0
+    }
+}
+
+struct DescEmitter {
+    asm: Asm,
+    kernels: usize,
+    reservations: usize,
+    traffic: Option<(HostTraffic, HostTrafficGen)>,
+    host_stores: usize,
+    tables: Vec<DescriptorTable>,
+}
+
+impl DescEmitter {
+    /// Replays the legacy traffic rule — a burst after every
+    /// `period`-th kernel — for the kernels the just-issued batch
+    /// covers, so both backends inject identical store sequences.
+    fn emit_host_traffic(&mut self, first_kernel: usize) {
+        let Some((knob, traffic_gen)) = self.traffic.as_mut() else {
+            return;
+        };
+        for k in first_kernel + 1..=self.kernels {
+            if !k.is_multiple_of(knob.period) {
+                continue;
+            }
+            let addrs = traffic_gen.burst(knob.bytes);
+            for addr in addrs {
+                self.asm.li(T0, addr as i32);
+                self.asm.li(T1, self.host_stores as i32);
+                self.asm.sw(T1, T0, 0);
+                self.host_stores += 1;
+            }
+        }
+    }
+
+    /// Encodes one batch, places its table at `cursor`, and emits the
+    /// `xmb` launch. Returns the table end address.
+    fn xmb(&mut self, batch: DescriptorBatch, cursor: u32) -> u32 {
+        let first_kernel = self.kernels;
+        self.kernels += batch.descriptors.len();
+        self.reservations += batch
+            .descriptors
+            .iter()
+            .map(|d| d.bindings.len())
+            .sum::<usize>();
+        let words = batch.encode();
+        let end = cursor + 4 * words.len() as u32;
+        self.asm.li(A0, cursor as i32);
+        self.asm.li(A1, words.len() as i32);
+        self.asm.li(A2, self.tables.len() as i32);
+        self.asm.raw(xmb_instr(A0, A1, A2));
+        self.tables.push(DescriptorTable {
+            addr: cursor,
+            words,
+        });
+        self.emit_host_traffic(first_kernel);
+        end
+    }
+}
+
+fn compile_descriptor(
+    graph: &LayerGraph,
+    layout: GraphLayout,
+    opts: &CompileOptions,
+) -> Result<NnProgram, CompileError> {
+    let sew = graph.sew();
+    let esz = sew.bytes();
+    let (launches, per_node) = lower_to_launches(graph, &layout, esz, opts.instances)?;
+    let mut alloc = RegAlloc::new(&launches);
+
+    // Descriptor tables live line-aligned past the tensor arena; the
+    // traffic scratch window moves past them.
+    let desc_base = align_line(layout.end);
+    let mut cursor = desc_base;
+
+    // Build all batches first so the traffic window base is known
+    // before any store is emitted... the table region size depends only
+    // on the launch list, which is already fixed.
+    let mut batches: Vec<DescriptorBatch> = Vec::with_capacity(per_node.len());
+    let mut pos = 0usize;
+    let mut token = 0u16;
+    for &n in &per_node {
+        let mut descriptors = Vec::with_capacity(n);
+        for launch in &launches[pos..pos + n] {
+            let bindings = alloc.allocate(pos + descriptors.len(), launch);
+            let reg = |r: Region| alloc.reg_of(r).expect("allocated above");
+            let ms1 = reg(launch.ms1);
+            descriptors.push(LaunchDescriptor {
+                kernel: launch.kernel,
+                width: sew,
+                alpha: launch.alpha,
+                beta: launch.beta,
+                md: reg(launch.md),
+                ms1,
+                ms2: reg(launch.ms2),
+                ms3: ms1,
+                bindings,
+                token,
+            });
+            token = token.wrapping_add(1);
+        }
+        pos += n;
+        batches.push(DescriptorBatch { descriptors });
+    }
+    let table_bytes: u32 = batches.iter().map(|b| b.bytes() as u32).sum();
+    let desc_end = desc_base + table_bytes;
+
+    let scratch = align_line(desc_end);
+    let traffic = opts.host_traffic.map(|knob| {
+        let span = knob.bytes.next_multiple_of(LINE_BYTES).max(LINE_BYTES);
+        (knob, HostTrafficGen::new(scratch, span, LINE_BYTES))
+    });
+    let mem_end = match &traffic {
+        Some((knob, _)) => scratch + knob.bytes.next_multiple_of(LINE_BYTES).max(LINE_BYTES),
+        None => desc_end,
+    };
+
+    let mut e = DescEmitter {
+        asm: Asm::new(),
+        kernels: 0,
+        reservations: 0,
+        traffic,
+        host_stores: 0,
+        tables: Vec::new(),
+    };
+    for batch in batches {
+        cursor = e.xmb(batch, cursor);
+    }
+    debug_assert_eq!(cursor, desc_end);
+
+    // Synchronise on every output (same idiom as the legacy backend).
+    let op = load_op(sew);
+    for &out in graph.outputs() {
+        let addr = layout.place(out).addr;
+        e.asm.li(T0, addr as i32);
+        e.asm.load(op, T1, T0, 0);
+    }
+    e.asm.ebreak();
+    let batches = e.tables.len();
+    Ok(NnProgram {
+        asm: e.asm,
+        layout,
+        kernels: e.kernels,
+        reservations: e.reservations,
+        host_stores: e.host_stores,
+        mem_end,
+        launch: LaunchMode::Descriptor,
+        batches,
+        tables: e.tables,
+    })
+}
+
+fn compile_legacy(
+    graph: &LayerGraph,
+    layout: GraphLayout,
+    opts: &CompileOptions,
+) -> Result<NnProgram, CompileError> {
     // The traffic scratch window sits line-aligned past the tensor
     // arena, sized to one burst, so stores dirty cache lines without
     // touching any operand.
-    let scratch = layout.end.next_multiple_of(LINE_BYTES);
+    let scratch = align_line(layout.end);
     let traffic = opts.host_traffic.map(|knob| {
         let span = knob.bytes.next_multiple_of(LINE_BYTES).max(LINE_BYTES);
         (knob, HostTrafficGen::new(scratch, span, LINE_BYTES))
@@ -333,7 +880,7 @@ pub fn compile(graph: &LayerGraph, base: u32, opts: &CompileOptions) -> NnProgra
         host_stores: 0,
     };
     for node in graph.nodes() {
-        e.node(node, opts.instances);
+        e.node(node, opts.instances)?;
     }
     // Synchronise on every output.
     let op = load_op(e.sew);
@@ -343,19 +890,64 @@ pub fn compile(graph: &LayerGraph, base: u32, opts: &CompileOptions) -> NnProgra
         e.asm.load(op, T1, T0, 0);
     }
     e.asm.ebreak();
-    NnProgram {
+    Ok(NnProgram {
         asm: e.asm,
         layout: e.layout,
         kernels: e.kernels,
         reservations: e.reservations,
         host_stores: e.host_stores,
         mem_end,
+        launch: LaunchMode::Legacy,
+        batches: 0,
+        tables: Vec::new(),
+    })
+}
+
+/// Compiles `graph` into a host program whose tensors live in an arena
+/// starting at `base`.
+///
+/// The emitted program issues the whole kernel chain (per-instruction
+/// `xmr`/`xmkN` on the legacy path, `xmb` descriptor batches under
+/// [`LaunchMode::Descriptor`]), then performs one synchronising load of
+/// the first element of every output tensor — the Address Table stalls
+/// each load until the producing kernel's writeback retires (the
+/// paper's synchronisation idiom).
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when the graph has no outputs, `instances`
+/// is zero, or a tensor dimension exceeds the 16-bit `xmr`/binding
+/// encoding.
+pub fn compile(
+    graph: &LayerGraph,
+    base: u32,
+    opts: &CompileOptions,
+) -> Result<NnProgram, CompileError> {
+    if graph.outputs().is_empty() {
+        return Err(CompileError::NoOutputs);
+    }
+    if opts.instances < 1 {
+        return Err(CompileError::ZeroInstances);
+    }
+    let layout = GraphLayout::plan(graph, base);
+    match opts.launch {
+        LaunchMode::Legacy => compile_legacy(graph, layout, opts),
+        LaunchMode::Descriptor => compile_descriptor(graph, layout, opts),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn gemm_graph(rows: usize, cols: usize) -> LayerGraph {
+        let mut g = LayerGraph::new(Sew::Byte);
+        let x = g.input("x", rows, cols);
+        let w = g.input("w", cols, cols);
+        let y = g.gemm(x, w);
+        g.mark_output(y);
+        g
+    }
 
     #[test]
     fn split_rows_covers_total() {
@@ -373,20 +965,53 @@ mod tests {
 
     #[test]
     fn instance_split_multiplies_gemm_kernels() {
-        let build = || {
-            let mut g = LayerGraph::new(Sew::Byte);
-            let x = g.input("x", 8, 8);
-            let w = g.input("w", 8, 8);
-            let y = g.gemm(x, w);
-            g.mark_output(y);
-            g
-        };
-        let g = build();
-        let one = compile(&g, 0x2000_0000, &CompileOptions::with_instances(1));
-        let four = compile(&g, 0x2000_0000, &CompileOptions::with_instances(4));
+        let g = gemm_graph(8, 8);
+        let one = compile(&g, 0x2000_0000, &CompileOptions::with_instances(1)).unwrap();
+        let four = compile(&g, 0x2000_0000, &CompileOptions::with_instances(4)).unwrap();
         assert_eq!(one.kernels, 1);
         assert_eq!(four.kernels, 4);
         assert!(four.reservations > one.reservations);
+    }
+
+    #[test]
+    fn oversized_dimension_is_a_typed_error() {
+        // 70_000 rows exceed the 16-bit xmr row field: both backends
+        // must surface the typed error through compile()'s result.
+        let mut g = LayerGraph::new(Sew::Byte);
+        let x = g.input("x", 70_000, 4);
+        let y = g.leaky_relu(x, 3);
+        g.mark_output(y);
+        for opts in [
+            CompileOptions::with_instances(1),
+            CompileOptions::descriptor(1),
+        ] {
+            assert_eq!(
+                compile(&g, 0x2000_0000, &opts).unwrap_err(),
+                CompileError::DimensionTooLarge {
+                    rows: 70_000,
+                    cols: 4
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_graphs_are_typed_errors() {
+        let mut g = LayerGraph::new(Sew::Byte);
+        let _ = g.input("x", 4, 4);
+        assert_eq!(
+            compile(&g, 0x2000_0000, &CompileOptions::default()).unwrap_err(),
+            CompileError::NoOutputs
+        );
+        let g = gemm_graph(4, 4);
+        let opts = CompileOptions {
+            instances: 0,
+            ..CompileOptions::default()
+        };
+        assert_eq!(
+            compile(&g, 0x2000_0000, &opts).unwrap_err(),
+            CompileError::ZeroInstances
+        );
     }
 
     #[test]
@@ -399,20 +1024,31 @@ mod tests {
             t = g.leaky_relu(t, 3);
         }
         g.mark_output(t);
-        let quiet = compile(&g, 0x2000_0000, &CompileOptions::default());
+        let quiet = compile(&g, 0x2000_0000, &CompileOptions::default()).unwrap();
         assert_eq!(quiet.host_stores, 0);
         assert_eq!(quiet.mem_end, quiet.layout.end);
 
         let opts = CompileOptions {
             instances: 1,
             host_traffic: Some(HostTraffic::new(2, 3 * LINE_BYTES)),
+            ..CompileOptions::default()
         };
-        let noisy = compile(&g, 0x2000_0000, &opts);
+        let noisy = compile(&g, 0x2000_0000, &opts).unwrap();
         // 4 kernels → bursts after kernels 2 and 4, 3 stores each.
         assert_eq!(noisy.kernels, 4);
         assert_eq!(noisy.host_stores, 6);
         assert!(noisy.mem_end >= noisy.layout.end + 3 * LINE_BYTES);
         assert!(noisy.mem_end.is_multiple_of(LINE_BYTES));
+
+        // The descriptor backend injects the same store train, placed
+        // past its table region.
+        let dopts = CompileOptions {
+            launch: LaunchMode::Descriptor,
+            ..opts
+        };
+        let dnoisy = compile(&g, 0x2000_0000, &dopts).unwrap();
+        assert_eq!(dnoisy.host_stores, 6);
+        assert!(dnoisy.tables.iter().all(|t| t.addr >= dnoisy.layout.end));
     }
 
     #[test]
@@ -422,7 +1058,92 @@ mod tests {
         let f = g.input("f", 3 * 3, 3);
         let y = g.depthwise_conv(x, f, 3);
         g.mark_output(y);
-        let p = compile(&g, 0x2000_0000, &CompileOptions::default());
+        let p = compile(&g, 0x2000_0000, &CompileOptions::default()).unwrap();
         assert_eq!(p.kernels, 3);
+    }
+
+    #[test]
+    fn descriptor_mode_emits_one_batch_per_node() {
+        let mut g = LayerGraph::new(Sew::Byte);
+        let x = g.input("x", 8, 8);
+        let w = g.input("w", 8, 8);
+        let t = g.gemm(x, w);
+        let q = g.requantise(t, 1, 2);
+        let y = g.leaky_relu(q, 3);
+        g.mark_output(y);
+        let p = compile(&g, 0x2000_0000, &CompileOptions::descriptor(4)).unwrap();
+        assert_eq!(p.batches, 3, "one batch per node");
+        assert_eq!(p.kernels, 12, "4 slices per row-parallel node");
+        assert_eq!(p.tables.len(), 3);
+        // Tables are contiguous, line-aligned past the arena.
+        assert!(p.tables[0].addr >= p.layout.end);
+        assert!(p.tables[0].addr.is_multiple_of(LINE_BYTES));
+        for w in p.tables.windows(2) {
+            assert_eq!(w[0].addr + 4 * w[0].words.len() as u32, w[1].addr);
+        }
+        assert!(p.mem_end >= p.tables.last().unwrap().addr);
+        // Every table decodes back to a well-formed batch.
+        for t in &p.tables {
+            assert!(DescriptorBatch::decode(&t.words).is_ok());
+        }
+    }
+
+    #[test]
+    fn allocator_keeps_hot_tensors_bound() {
+        // 4-way GeMM: legacy rebinds B for the node once plus A/dest
+        // per slice (9 xmr); the allocator binds each distinct region
+        // exactly once here (no capacity pressure at 16 registers).
+        let g = gemm_graph(8, 8);
+        let legacy = compile(&g, 0x2000_0000, &CompileOptions::with_instances(4)).unwrap();
+        let desc = compile(&g, 0x2000_0000, &CompileOptions::descriptor(4)).unwrap();
+        assert_eq!(legacy.kernels, desc.kernels);
+        assert_eq!(legacy.reservations, 9);
+        assert_eq!(desc.reservations, 9, "distinct regions bound once");
+
+        // A chain re-reads intermediates: the legacy backend rebinds
+        // them per kernel, the allocator does not.
+        let mut g = LayerGraph::new(Sew::Byte);
+        let x = g.input("x", 8, 8);
+        let w = g.input("w", 8, 8);
+        let mut t = g.gemm(x, w);
+        for _ in 0..4 {
+            t = g.leaky_relu(t, 3);
+        }
+        g.mark_output(t);
+        let legacy = compile(&g, 0x2000_0000, &CompileOptions::with_instances(1)).unwrap();
+        let desc = compile(&g, 0x2000_0000, &CompileOptions::descriptor(1)).unwrap();
+        assert!(
+            desc.reservations < legacy.reservations,
+            "chain reuse must cut bindings: {} vs {}",
+            desc.reservations,
+            legacy.reservations
+        );
+    }
+
+    #[test]
+    fn allocator_evicts_under_register_pressure() {
+        // More distinct live regions than matrix registers: a long
+        // chain of residual adds touching many tensors. The program
+        // must still compile, with every launch's operands bound.
+        let mut g = LayerGraph::new(Sew::Byte);
+        let mut acc = g.input("x0", 4, 8);
+        let mut others = Vec::new();
+        for i in 0..20 {
+            let t = g.input(&format!("x{}", i + 1), 4, 8);
+            others.push(t);
+        }
+        for t in others {
+            acc = g.residual_add(acc, t);
+        }
+        g.mark_output(acc);
+        let p = compile(&g, 0x2000_0000, &CompileOptions::descriptor(1)).unwrap();
+        assert_eq!(p.kernels, 20);
+        assert!(
+            p.reservations > 3,
+            "pressure must force rebinds beyond the first three"
+        );
+        for t in &p.tables {
+            DescriptorBatch::decode(&t.words).expect("well-formed batch");
+        }
     }
 }

@@ -51,7 +51,8 @@ mod run;
 pub mod suite;
 
 pub use arcane_fabric::HostTraffic;
-pub use compile::{compile, split_rows, CompileOptions, NnProgram};
+pub use arcane_isa::launch::LaunchMode;
+pub use compile::{compile, split_rows, CompileError, CompileOptions, DescriptorTable, NnProgram};
 pub use graph::{LayerGraph, Node, Tensor, TensorId, TensorKind};
 pub use plan::{GraphLayout, Placement, ALIGN};
 pub use run::{run_graph, run_graph_with_engine, GraphRunReport};

@@ -8,9 +8,10 @@
 
 use crate::compile::{compile, CompileOptions, NnProgram};
 use crate::graph::LayerGraph;
-use arcane_core::{ArcaneConfig, KernelRecord};
+use arcane_core::{ArcaneConfig, KernelRecord, LaunchMode};
 use arcane_mem::Memory;
-use arcane_sim::{ChannelUtil, EngineMode, PhaseBreakdown};
+use arcane_sim::{ChannelUtil, EngineMode, LaunchStats, PhaseBreakdown};
+use arcane_system::report::PhaseSplitRow;
 use arcane_system::{ArcaneSoc, EXT_BASE};
 use arcane_workloads::Matrix;
 
@@ -39,6 +40,10 @@ pub struct GraphRunReport {
     pub writebacks: u64,
     /// Per-channel utilisation (eCPU + fabric ports) over the run.
     pub channels: Vec<ChannelUtil>,
+    /// Launch backend the program ran under.
+    pub launch: LaunchMode,
+    /// Descriptor launch-pipeline counters (all zero in legacy mode).
+    pub launch_stats: LaunchStats,
 }
 
 impl GraphRunReport {
@@ -50,6 +55,19 @@ impl GraphRunReport {
             per[r.vpu] += 1;
         }
         per
+    }
+
+    /// One row of the machine-generated preamble/compute/decode split
+    /// table (EXPERIMENTS.md "NN layer graphs"; render with
+    /// [`arcane_system::report::format_phase_split_table`]).
+    pub fn split_row(&self, label: impl Into<String>) -> PhaseSplitRow {
+        PhaseSplitRow {
+            label: label.into(),
+            kernels: self.kernels,
+            cycles: self.cycles,
+            phases: self.phases,
+            decode_cycles: self.launch_stats.decode_cycles,
+        }
     }
 }
 
@@ -70,13 +88,25 @@ pub fn run_graph_with_engine(
     engine: EngineMode,
 ) -> GraphRunReport {
     let sew = graph.sew();
-    let program: NnProgram = compile(graph, EXT_BASE, opts);
+    let program: NnProgram = compile(graph, EXT_BASE, opts).expect("graph must compile");
     assert!(
         (program.mem_end - EXT_BASE) as usize <= cfg.ext_size,
-        "graph arena (plus host-traffic window) exceeds external memory"
+        "graph arena (plus descriptor tables and host-traffic window) exceeds external memory"
     );
 
+    // The SoC must decode what the compiler emitted: the launch mode is
+    // a program property, so it overrides the config knob.
+    let mut cfg = cfg;
+    cfg.launch = program.launch;
     let mut soc = ArcaneSoc::new(cfg);
+    // Seed the descriptor tables (the driver's command rings).
+    for table in &program.tables {
+        let bytes: Vec<u8> = table.words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        soc.llc_mut()
+            .ext_mut()
+            .write_bytes(table.addr, &bytes)
+            .unwrap();
+    }
     let input_ids = graph.inputs();
     assert_eq!(
         input_ids.len(),
@@ -135,6 +165,8 @@ pub fn run_graph_with_engine(
         renames: llc.renames(),
         writebacks: llc.stats().writebacks.get(),
         channels: llc.channel_utilisation(),
+        launch: program.launch,
+        launch_stats: *llc.launch_stats(),
     }
 }
 

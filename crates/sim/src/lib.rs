@@ -39,7 +39,7 @@ mod stats;
 pub use clock::Clock;
 pub use engine::EngineMode;
 pub use phase::{Phase, PhaseBreakdown};
-pub use stats::{CacheStats, ChannelUtil, Counter};
+pub use stats::{CacheStats, ChannelUtil, Counter, LaunchStats};
 
 use std::fmt;
 

@@ -98,6 +98,48 @@ impl CacheStats {
     }
 }
 
+/// Counters of the descriptor launch pipeline over a run: how many
+/// batches the eCPU decoded, how many kernel launches they carried,
+/// and what the decode work cost — the "decode" column of the
+/// per-kernel preamble/compute/decode split. All zero on the legacy
+/// per-instruction launch path.
+///
+/// # Examples
+///
+/// ```
+/// use arcane_sim::LaunchStats;
+/// let mut s = LaunchStats::default();
+/// s.batches += 1;
+/// s.descriptors += 4;
+/// assert!((s.descriptors_per_batch() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaunchStats {
+    /// Descriptor batches fetched and decoded.
+    pub batches: u64,
+    /// Launch descriptors replayed (= kernels launched through the
+    /// batched pipeline).
+    pub descriptors: u64,
+    /// Fresh operand bindings the descriptors installed.
+    pub bindings: u64,
+    /// Encoded batch bytes carried over the fabric to the decoder.
+    pub batch_bytes: u64,
+    /// eCPU cycles spent in batch entry + descriptor replay (the
+    /// amortised successor of the legacy per-kernel preamble).
+    pub decode_cycles: u64,
+}
+
+impl LaunchStats {
+    /// Mean descriptors per batch (zero when no batch ran).
+    pub fn descriptors_per_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.descriptors as f64 / self.batches as f64
+        }
+    }
+}
+
 /// Utilisation of one shared channel or fabric port over a run: how
 /// many cycles it was busy, how long its clients waited for grants,
 /// and what fraction of the run it was occupied.

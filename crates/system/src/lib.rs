@@ -20,9 +20,11 @@
 pub mod driver;
 mod layout;
 pub mod programs;
-mod report;
+pub mod report;
 mod soc;
 
 pub use layout::{ConvLayerParams, Layout, EXT_BASE, IMEM_SIZE};
-pub use report::{format_channel_table, ConvSweepPoint, RunReport};
+pub use report::{
+    format_channel_table, format_phase_split_table, ConvSweepPoint, PhaseSplitRow, RunReport,
+};
 pub use soc::{ArcaneSoc, BaselineSoc};

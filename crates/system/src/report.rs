@@ -54,6 +54,54 @@ impl RunReport {
     }
 }
 
+/// One row of the preamble/compute/decode split table: the
+/// machine-generated form of the EXPERIMENTS.md "NN layer graphs" and
+/// launch-pipeline tables. Build rows from
+/// `arcane_nn::GraphRunReport::split_row` (or by hand for conv runs)
+/// and render with [`format_phase_split_table`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSplitRow {
+    /// Row label (workload / mode / VPU count).
+    pub label: String,
+    /// Kernels launched.
+    pub kernels: usize,
+    /// Total run cycles.
+    pub cycles: u64,
+    /// Phase breakdown summed over the kernels.
+    pub phases: PhaseBreakdown,
+    /// eCPU cycles spent decoding descriptor batches (zero on the
+    /// legacy launch path, where all of it is per-kernel preamble).
+    pub decode_cycles: u64,
+}
+
+/// Formats preamble/compute/decode split rows as an aligned table.
+///
+/// Columns: label, kernels, total cycles, preamble share, compute
+/// share, allocation+writeback share, and the batch-decode cycles of
+/// the descriptor launch pipeline.
+pub fn format_phase_split_table(rows: &[PhaseSplitRow]) -> String {
+    use arcane_sim::Phase;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<34} {:>8} {:>13} {:>10} {:>10} {:>10} {:>11}\n",
+        "workload", "kernels", "cycles", "preamble", "compute", "alloc+wb", "decode cyc"
+    ));
+    for r in rows {
+        let ph = r.phases;
+        out.push_str(&format!(
+            "{:<34} {:>8} {:>13} {:>9.1}% {:>9.1}% {:>9.1}% {:>11}\n",
+            r.label,
+            r.kernels,
+            r.cycles,
+            100.0 * ph.share(Phase::Preamble),
+            100.0 * ph.share(Phase::Compute),
+            100.0 * (ph.share(Phase::Allocation) + ph.share(Phase::Writeback)),
+            r.decode_cycles,
+        ));
+    }
+    out
+}
+
 /// Formats per-channel utilisation as an aligned table (one line per
 /// channel: busy cycles, wait cycles, requests, occupancy), ready to
 /// print under a run report.
@@ -105,6 +153,26 @@ mod tests {
             macs,
             channels: Vec::new(),
         }
+    }
+
+    #[test]
+    fn phase_split_table_formats_shares_and_decode() {
+        let mut phases = PhaseBreakdown::default();
+        phases.charge(arcane_sim::Phase::Preamble, 25);
+        phases.charge(arcane_sim::Phase::Compute, 50);
+        phases.charge(arcane_sim::Phase::Writeback, 25);
+        let rows = vec![PhaseSplitRow {
+            label: "xfm / descriptor x4".into(),
+            kernels: 61,
+            cycles: 123_456,
+            phases,
+            decode_cycles: 9_000,
+        }];
+        let t = format_phase_split_table(&rows);
+        assert!(t.contains("xfm / descriptor x4"));
+        assert!(t.contains("25.0%") && t.contains("50.0%"));
+        assert!(t.contains("9000"));
+        assert_eq!(t.lines().count(), 2);
     }
 
     #[test]

@@ -6,13 +6,28 @@
 //! output bit-exactly against the golden models.
 //!
 //! Run with: `cargo run --release --example graph_inference`
+//!
+//! Pass `--descriptor` to compile the graphs onto the batched
+//! launch-descriptor pipeline (DESIGN.md §4.6) instead of the paper's
+//! per-instruction `xmr`/`xmkN` path — the per-kernel eCPU preamble is
+//! amortised over whole batches and multi-VPU splitting becomes a net
+//! win.
 
 use arcane::core::{ArcaneConfig, SchedulerKind};
 use arcane::nn::suite::{self, BuiltGraph};
+use arcane::nn::{CompileOptions, LaunchMode};
 use arcane::sim::Sew;
+use arcane::system::format_phase_split_table;
 
-fn show(block: &BuiltGraph) {
-    println!("\n== {} ==", block.name);
+fn opts(launch: LaunchMode, instances: usize) -> CompileOptions {
+    match launch {
+        LaunchMode::Legacy => CompileOptions::with_instances(instances),
+        LaunchMode::Descriptor => CompileOptions::descriptor(instances),
+    }
+}
+
+fn show(block: &BuiltGraph, launch: LaunchMode) {
+    println!("\n== {} ({launch} launch) ==", block.name);
     println!(
         "{:>12} {:>10} {:>9} {:>12} {:>16}",
         "policy", "VPUs", "kernels", "cycles", "kernels/VPU"
@@ -22,7 +37,7 @@ fn show(block: &BuiltGraph) {
             let mut cfg = ArcaneConfig::with_lanes(8);
             cfg.n_vpus = n_vpus;
             cfg.scheduler = scheduler;
-            let r = block.run_verified(cfg, n_vpus);
+            let r = block.run_verified_with(cfg, &opts(launch, n_vpus));
             println!(
                 "{:>12} {:>10} {:>9} {:>12} {:>16}",
                 scheduler.name(),
@@ -36,19 +51,29 @@ fn show(block: &BuiltGraph) {
 }
 
 fn main() {
+    let launch = if std::env::args().any(|a| a == "--descriptor") {
+        LaunchMode::Descriptor
+    } else {
+        LaunchMode::Legacy
+    };
     println!("arcane-nn: layer graphs compiled to xmnmc kernel chains");
     println!("(every output verified bit-exactly against its golden model)");
+    if launch == LaunchMode::Legacy {
+        println!("tip: rerun with --descriptor for the batched launch pipeline");
+    }
 
     let dws = suite::depthwise_separable(16, 16, 3, Sew::Byte, 11);
     let res = suite::residual_bottleneck(24, 24, Sew::Byte, 12);
     let xfm = suite::transformer_block(16, 24, 32, Sew::Byte, 13);
 
     for block in [&dws, &res, &xfm] {
-        show(block);
+        show(block, launch);
     }
 
     // The chain detail of one transformer run: which kernel ran where.
-    let r = xfm.run_verified(ArcaneConfig::with_lanes(8), 4);
+    let mut cfg = ArcaneConfig::with_lanes(8);
+    cfg.n_vpus = 4;
+    let r = xfm.run_verified_with(cfg, &opts(launch, 4));
     println!("\ntransformer chain on 4 VPUs (least-dirty), kernel by kernel:");
     for rec in r.records.iter().take(12) {
         println!(
@@ -63,4 +88,26 @@ fn main() {
         "\n{} kernels, {} renames, {} total cycles — all outputs bit-exact",
         r.kernels, r.renames, r.cycles
     );
+    if launch == LaunchMode::Descriptor {
+        let ls = r.launch_stats;
+        println!(
+            "{} batches carried {} descriptors ({} fresh bindings); batch \
+             decode cost {} eCPU cycles total",
+            ls.batches, ls.descriptors, ls.bindings, ls.decode_cycles
+        );
+    }
+
+    // The machine-generated preamble/compute/decode split (the same
+    // rows EXPERIMENTS.md tabulates).
+    println!("\nphase split (transformer, both launch modes, 4 VPUs):");
+    let rows: Vec<_> = LaunchMode::ALL
+        .iter()
+        .map(|&mode| {
+            let mut cfg = ArcaneConfig::with_lanes(8);
+            cfg.n_vpus = 4;
+            xfm.run_verified_with(cfg, &opts(mode, 4))
+                .split_row(format!("transformer x4 / {mode}"))
+        })
+        .collect();
+    print!("{}", format_phase_split_table(&rows));
 }

@@ -129,6 +129,44 @@ fn burst_arbitration_unlocks_multi_instance_scaling() {
     assert!(rr4 < wp4, "burst arbitration beats whole-phase outright");
 }
 
+/// The descriptor-batch launch pipeline (DESIGN.md §4.6): in legacy
+/// mode multi-VPU graph splitting *inflates* total cycles because every
+/// slice kernel pays the full ~2k-cycle C-RT preamble on the single
+/// eCPU, while under descriptor batching the preamble is decoded once
+/// per batch and replayed per slice — 2-way and 4-way transformer
+/// splits become a net win over 1-way (the §V-C multi-instance band at
+/// graph scale).
+#[test]
+fn descriptor_batches_make_graph_splitting_a_win() {
+    use arcane::core::ArcaneConfig;
+    use arcane::nn::{suite, CompileOptions};
+
+    let b = suite::transformer_block(16, 24, 32, Sew::Byte, 44);
+    let run = |opts: &CompileOptions, n_vpus: usize| {
+        let mut cfg = ArcaneConfig::with_lanes(8);
+        cfg.n_vpus = n_vpus;
+        b.run_verified_with(cfg, opts).cycles
+    };
+    // Legacy keeps the inflation artefact: splitting costs cycles.
+    let (l1, l4) = (
+        run(&CompileOptions::with_instances(1), 1),
+        run(&CompileOptions::with_instances(4), 4),
+    );
+    assert!(
+        l4 > l1,
+        "legacy splitting must stay preamble-bound: {l4} vs {l1}"
+    );
+    // Descriptor batching makes splitting a net win, monotonically.
+    let d1 = run(&CompileOptions::descriptor(1), 1);
+    let d2 = run(&CompileOptions::descriptor(2), 2);
+    let d4 = run(&CompileOptions::descriptor(4), 4);
+    assert!(d2 <= d1, "2-way split must not lose: {d2} vs {d1}");
+    assert!(d4 <= d1, "4-way split must not lose: {d4} vs {d1}");
+    assert!(d4 < d2, "4-way should beat 2-way outright: {d4} vs {d2}");
+    // And the pipeline is an outright improvement at equal width.
+    assert!(d1 < l1, "descriptor launch must beat legacy: {d1} vs {l1}");
+}
+
 /// The full 256×256 anchors of DESIGN.md §5. ~1 minute in release mode:
 /// `cargo test --release --test calibration -- --ignored`.
 #[test]

@@ -92,6 +92,40 @@ fn engines_identical_at_moderate_sizes_all_widths() {
     assert_parity(&ConvLayerParams::new(64, 64, 5, Sew::Byte));
 }
 
+/// Descriptor-batch launch pipeline under both host-core engines: the
+/// transformer graph compiled to `xmb` batches must produce bit- and
+/// cycle-identical results on the predecoded block engine and the
+/// reference interpreter — the same guarantee the legacy launch path
+/// carries, extended to the new decode path.
+#[test]
+fn descriptor_mode_graph_engines_identical() {
+    use arcane::nn::{run_graph_with_engine, suite, CompileOptions};
+
+    let b = suite::transformer_block(8, 12, 16, Sew::Byte, 99);
+    for instances in [1usize, 2] {
+        let opts = CompileOptions::descriptor(instances);
+        let mut cfg = ArcaneConfig::with_lanes(8);
+        cfg.n_vpus = instances;
+        let block = run_graph_with_engine(cfg, &b.graph, &b.inputs, &opts, EngineMode::Block);
+        let interp = run_graph_with_engine(cfg, &b.graph, &b.inputs, &opts, EngineMode::Interp);
+        assert_eq!(block.cycles, interp.cycles, "cycle divergence x{instances}");
+        assert_eq!(
+            block.instret, interp.instret,
+            "instret divergence x{instances}"
+        );
+        assert_eq!(
+            block.outputs, interp.outputs,
+            "output divergence x{instances}"
+        );
+        assert_eq!(block.outputs[0], b.golden[0], "golden divergence");
+        assert_eq!(
+            block.launch_stats, interp.launch_stats,
+            "decode accounting divergence x{instances}"
+        );
+        assert!(block.launch_stats.batches > 0, "batches must be decoded");
+    }
+}
+
 /// The 256×256 Figure 4 calibration anchors (release-only; run with
 /// `cargo test --release -- --ignored`).
 #[test]

@@ -320,6 +320,27 @@ fn graph_inference_main_path() {
     let r = xfm.run_verified(ArcaneConfig::with_lanes(8), 1);
     assert!(r.records.iter().all(|rec| rec.end > rec.decode_start));
     assert!(r.renames > 0);
+
+    // The `--descriptor` flag path: the same grid compiles onto the
+    // batched launch pipeline, stays bit-exact, and reports its batch
+    // accounting plus the machine-generated phase-split row.
+    use arcane::nn::CompileOptions;
+    use arcane::system::format_phase_split_table;
+    for block in [&dws, &res, &xfm] {
+        let mut cfg = ArcaneConfig::with_lanes(8);
+        cfg.n_vpus = 4;
+        let d = block.run_verified_with(cfg, &CompileOptions::descriptor(4));
+        assert!(d.launch_stats.batches > 0, "{}", block.name);
+        assert_eq!(d.launch_stats.descriptors as usize, d.kernels);
+        let legacy = block.run_verified_with(cfg, &CompileOptions::with_instances(4));
+        assert!(
+            d.cycles < legacy.cycles,
+            "{}: descriptor launch must beat legacy at 4 VPUs",
+            block.name
+        );
+        let table = format_phase_split_table(&[d.split_row(block.name)]);
+        assert!(table.contains(block.name));
+    }
 }
 
 /// `examples/multi_vpu_scaling.rs`: the fabric-arbiter × VPU-count

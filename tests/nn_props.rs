@@ -10,7 +10,9 @@
 //! cycle-identical results.
 
 use arcane::core::ArcaneConfig;
-use arcane::nn::{suite, CompileOptions};
+use arcane::isa::launch::{DescriptorBatch, LaunchDescriptor, OperandBinding};
+use arcane::isa::xmnmc::MatReg;
+use arcane::nn::{suite, CompileOptions, LaunchMode};
 use arcane::sim::{EngineMode, Sew};
 use arcane::workloads::{self, Matrix};
 use proptest::prelude::*;
@@ -111,6 +113,57 @@ fn sew_strategy() -> impl Strategy<Value = Sew> {
     prop_oneof![Just(Sew::Byte), Just(Sew::Half), Just(Sew::Word)]
 }
 
+fn mat_reg() -> impl Strategy<Value = MatReg> {
+    (0u8..16).prop_map(|i| MatReg::new(i).unwrap())
+}
+
+fn binding() -> impl Strategy<Value = OperandBinding> {
+    (
+        mat_reg(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u16>(),
+    )
+        .prop_map(|(reg, addr, stride, cols, rows)| OperandBinding {
+            reg,
+            addr,
+            stride,
+            cols,
+            rows,
+        })
+}
+
+fn descriptor() -> impl Strategy<Value = LaunchDescriptor> {
+    (
+        (
+            0u8..30,
+            sew_strategy(),
+            any::<i16>(),
+            any::<i16>(),
+            any::<u16>(),
+        ),
+        (mat_reg(), mat_reg(), mat_reg(), mat_reg()),
+        prop::collection::vec(binding(), 0..4),
+    )
+        .prop_map(
+            |((kernel, width, alpha, beta, token), (md, ms1, ms2, ms3), bindings)| {
+                LaunchDescriptor {
+                    kernel,
+                    width,
+                    alpha,
+                    beta,
+                    md,
+                    ms1,
+                    ms2,
+                    ms3,
+                    bindings,
+                    token,
+                }
+            },
+        )
+}
+
 proptest! {
     #[test]
     fn depthwise_golden_matches_naive_reference(
@@ -184,6 +237,86 @@ proptest! {
         let y = naive_gemm(&ha, &w2, sew);
         let naive = naive_add(&x1, &naive_requant(&y, 1, shift, sew), sew);
         prop_assert_eq!(golden, naive);
+    }
+
+    /// Launch descriptors and batch framing are bit-exact inverses:
+    /// encode → decode is the identity for any well-formed batch, and
+    /// the exact-fuel size accounting matches the encoded stream.
+    #[test]
+    fn launch_descriptor_batch_round_trips(
+        descriptors in prop::collection::vec(descriptor(), 0..12),
+    ) {
+        let batch = DescriptorBatch { descriptors };
+        let words = batch.encode();
+        prop_assert_eq!(words.len(), batch.words(), "exact size accounting");
+        let back = DescriptorBatch::decode(&words);
+        prop_assert_eq!(back.as_ref(), Ok(&batch));
+    }
+
+    /// Grant identity of the legacy launch path: the same
+    /// legacy-compiled instruction stream must run bit- and
+    /// cycle-identically whether the SoC's descriptor decode path is
+    /// armed or not — the refactored launch plumbing cannot perturb the
+    /// pre-refactor cycle layout.
+    #[test]
+    fn legacy_launch_cycles_are_invariant_under_the_descriptor_knob(
+        n in 2usize..6,
+        d in 2usize..6,
+        seed in 0u64..40,
+        instances in 1usize..3,
+    ) {
+        use arcane::mem::Memory;
+        use arcane::system::{ArcaneSoc, EXT_BASE};
+
+        let b = suite::residual_bottleneck(n, d, Sew::Byte, seed);
+        let program =
+            arcane::nn::compile(&b.graph, EXT_BASE, &CompileOptions::with_instances(instances))
+                .unwrap();
+        let run = |launch: LaunchMode| {
+            let mut cfg = ArcaneConfig::with_lanes(4);
+            cfg.launch = launch;
+            let mut soc = ArcaneSoc::new(cfg);
+            for (&id, mat) in b.graph.inputs().iter().zip(&b.inputs) {
+                let p = program.layout.place(id);
+                soc.llc_mut()
+                    .ext_mut()
+                    .write_bytes(p.addr, &mat.to_bytes(Sew::Byte))
+                    .unwrap();
+            }
+            soc.load_program(&program.asm);
+            let run = soc.run(1_000_000_000).unwrap();
+            let out = b.graph.outputs()[0];
+            let p = program.layout.place(out);
+            let mut bytes = vec![0u8; p.rows * p.cols];
+            soc.llc().ext().read_bytes(p.addr, &mut bytes).unwrap();
+            let total = run.cycles.max(soc.llc().completion_time());
+            let batches = soc.llc().launch_stats().batches;
+            (total, run.instret, bytes, batches)
+        };
+        let plain = run(LaunchMode::Legacy);
+        let armed = run(LaunchMode::Descriptor);
+        prop_assert_eq!(&plain, &armed, "legacy stream must be mode-invariant");
+        prop_assert_eq!(plain.3, 0, "no batch may be decoded");
+    }
+
+    /// Cross-mode bit-exactness: the descriptor pipeline must compute
+    /// exactly what the legacy path computes (run_verified also checks
+    /// both against the golden model).
+    #[test]
+    fn descriptor_mode_matches_legacy_outputs(
+        n in 2usize..6,
+        d in 2usize..6,
+        seed in 0u64..40,
+        instances in 1usize..3,
+    ) {
+        let b = suite::residual_bottleneck(n, d, Sew::Byte, seed);
+        let cfg = ArcaneConfig::with_lanes(4);
+        let legacy = b.run_verified_with(cfg, &CompileOptions::with_instances(instances));
+        let desc = b.run_verified_with(cfg, &CompileOptions::descriptor(instances));
+        prop_assert_eq!(&legacy.outputs, &desc.outputs);
+        prop_assert_eq!(legacy.kernels, desc.kernels, "same slice structure");
+        prop_assert_eq!(desc.launch_stats.descriptors as usize, desc.kernels);
+        prop_assert!(desc.launch_stats.batches > 0);
     }
 
     /// The full stack differentially: a random residual-bottleneck
